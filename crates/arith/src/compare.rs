@@ -1,0 +1,156 @@
+//! Comparators built from the adder primitives.
+//!
+//! `lhs < rhs` is the carry-out of `~lhs + rhs` (two's complement): the flag
+//! is computed by a carry-producing addition into a scratch copy, copied out,
+//! and the scratch uncomputed by the inverse addition — `≈ 2·n` CCiX total.
+
+use crate::add::{add_into, xor_into};
+use qre_circuit::{Builder, QubitId, Sink};
+
+/// Compute a fresh flag qubit holding `lhs < rhs` (unsigned). Both inputs are
+/// preserved; all scratch is uncomputed. Widths must match.
+///
+/// Cost: `2·(n+1)−2` CCiX, the matching measurements, and `n+1` scratch
+/// qubits (peak, excluding the returned flag).
+pub fn is_less_than<S: Sink>(
+    b: &mut Builder<S>,
+    lhs: &[QubitId],
+    rhs: &[QubitId],
+) -> QubitId {
+    assert_eq!(lhs.len(), rhs.len(), "comparator requires equal widths");
+    let n = lhs.len();
+    assert!(n >= 1);
+
+    // scratch = ~lhs, one bit wider so the carry lands in the top bit.
+    let scratch = b.alloc_register(n + 1);
+    xor_into(b, lhs, &scratch.0[..n]);
+    for &q in &scratch.0[..n] {
+        b.x(q);
+    }
+    // scratch += rhs: top bit becomes carry(~lhs + rhs) = (lhs < rhs).
+    add_into(b, rhs, &scratch.0);
+
+    let flag = b.alloc();
+    b.cx(scratch.bit(n), flag);
+
+    // Uncompute scratch: subtract rhs, un-negate, un-copy.
+    crate::add::sub_into(b, rhs, &scratch.0);
+    for &q in &scratch.0[..n] {
+        b.x(q);
+    }
+    xor_into(b, lhs, &scratch.0[..n]);
+    b.release_register(scratch);
+    flag
+}
+
+/// Compute a fresh flag qubit holding `lhs == rhs`. Cost: one `n`-way AND
+/// ladder (`n−1` CCiX) over the XNOR bits, uncomputed afterwards.
+pub fn is_equal<S: Sink>(b: &mut Builder<S>, lhs: &[QubitId], rhs: &[QubitId]) -> QubitId {
+    assert_eq!(lhs.len(), rhs.len(), "comparator requires equal widths");
+    let n = lhs.len();
+    assert!(n >= 1);
+
+    // diff_i = lhs_i ⊕ rhs_i ⊕ 1 (XNOR, computed in place on a copy of rhs).
+    let diff = b.alloc_register(n);
+    xor_into(b, lhs, &diff.0);
+    xor_into(b, rhs, &diff.0);
+    for &q in &diff.0 {
+        b.x(q);
+    }
+
+    // AND-ladder over diff into the flag.
+    let flag;
+    if n == 1 {
+        flag = b.alloc();
+        b.cx(diff.bit(0), flag);
+    } else {
+        let mut acc = crate::gadgets::and_compute(b, diff.bit(0), diff.bit(1));
+        let mut ladder = vec![acc];
+        for i in 2..n {
+            acc = crate::gadgets::and_compute(b, acc, diff.bit(i));
+            ladder.push(acc);
+        }
+        flag = b.alloc();
+        b.cx(acc, flag);
+        // Uncompute ladder in reverse.
+        for i in (1..ladder.len()).rev() {
+            crate::gadgets::and_uncompute(b, ladder[i - 1], diff.bit(i + 1), ladder[i]);
+        }
+        crate::gadgets::and_uncompute(b, diff.bit(0), diff.bit(1), ladder[0]);
+    }
+
+    // Uncompute diff.
+    for &q in &diff.0 {
+        b.x(q);
+    }
+    xor_into(b, rhs, &diff.0);
+    xor_into(b, lhs, &diff.0);
+    b.release_register(diff);
+    flag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsim::SimBuilder;
+    use qre_circuit::CountingTracer;
+
+    #[test]
+    fn less_than_exhaustive() {
+        for n in 1..=4usize {
+            for a in 0..(1u64 << n) {
+                for c in 0..(1u64 << n) {
+                    let mut sim = SimBuilder::new();
+                    let lhs = sim.alloc_value(n, a);
+                    let rhs = sim.alloc_value(n, c);
+                    let flag = is_less_than(sim.builder(), &lhs, &rhs);
+                    sim.adopt(flag);
+                    assert_eq!(
+                        sim.read_value(&[flag]),
+                        u64::from(a < c),
+                        "n={n} a={a} c={c}"
+                    );
+                    assert_eq!(sim.read_value(&lhs), a);
+                    assert_eq!(sim.read_value(&rhs), c);
+                    // Scratch must be gone (only the flag remains extra).
+                    sim.assert_all_ancillas_clean();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equality_exhaustive() {
+        for n in 1..=4usize {
+            for a in 0..(1u64 << n) {
+                for c in 0..(1u64 << n) {
+                    let mut sim = SimBuilder::new();
+                    let lhs = sim.alloc_value(n, a);
+                    let rhs = sim.alloc_value(n, c);
+                    let flag = is_equal(sim.builder(), &lhs, &rhs);
+                    sim.adopt(flag);
+                    assert_eq!(
+                        sim.read_value(&[flag]),
+                        u64::from(a == c),
+                        "n={n} a={a} c={c}"
+                    );
+                    assert_eq!(sim.read_value(&lhs), a);
+                    assert_eq!(sim.read_value(&rhs), c);
+                    sim.assert_all_ancillas_clean();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_cost_is_linear() {
+        let n = 32usize;
+        let mut b = qre_circuit::Builder::new(CountingTracer::new());
+        let lhs = b.alloc_register(n);
+        let rhs = b.alloc_register(n);
+        let _ = is_less_than(&mut b, &lhs.0, &rhs.0);
+        let c = b.into_sink().counts();
+        assert_eq!(c.ccix_count, 2 * (n as u64 + 1) - 2);
+        assert_eq!(c.ccz_count, 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Constant (classical-operand) addition and comparison.
+//!
+//! Adding a classically known constant is cheaper than a quantum-quantum
+//! addition: each carry needs one AND regardless of the constant bit
+//! (`MAJ(a, 0, c) = a∧c`, `MAJ(a, 1, c) = a∨c`), and runs of constant bits
+//! equal to zero before the first set bit propagate no carry at all. These
+//! primitives are the substrate for the modular arithmetic of
+//! [`crate::modular`] (the Shor-style use case of Gidney's windowed
+//! arithmetic paper).
+
+use crate::gadgets::{and_compute, and_uncompute};
+use qre_circuit::{Builder, QubitId, Sink};
+
+/// Carry wire state during the ripple.
+#[derive(Debug, Clone, Copy)]
+enum Carry {
+    /// Carry is identically zero (no set constant bit seen yet).
+    Zero,
+    /// Carry lives in an ancilla produced by a plain CNOT copy (Clifford).
+    Copied(QubitId),
+    /// Carry lives in an ancilla produced by an AND/OR gadget.
+    Gadget {
+        q: QubitId,
+        /// `true` when the OR form was used (X-conjugated AND).
+        or_form: bool,
+    },
+}
+
+impl Carry {
+    fn qubit(self) -> Option<QubitId> {
+        match self {
+            Carry::Zero => None,
+            Carry::Copied(q) | Carry::Gadget { q, .. } => Some(q),
+        }
+    }
+}
+
+/// `tgt += k (mod 2^tgt.len())` for a classical constant `k`.
+///
+/// Cost: at most `tgt.len() − 1` CCiX (exactly one per carry position after
+/// the constant's lowest set bit) and the matching measurements.
+pub fn add_const_into<S: Sink>(b: &mut Builder<S>, k: u64, tgt: &[QubitId]) {
+    let m = tgt.len();
+    assert!(m >= 1, "empty target register");
+    assert!(m >= 64 || k < (1u64 << m), "constant does not fit the register");
+    if k == 0 {
+        return;
+    }
+
+    // Forward pass: compute carries c_{i+1} = MAJ(a_i, k_i, c_i) into
+    // ancillas, reading only untouched target bits.
+    let mut carries: Vec<Carry> = Vec::with_capacity(m);
+    let mut carry = Carry::Zero;
+    #[allow(clippy::needless_range_loop)] // `i` also indexes the constant's bits
+    for i in 0..m.saturating_sub(1) {
+        let k_i = (k >> i) & 1 == 1;
+        let next = match (carry.qubit(), k_i) {
+            (None, false) => Carry::Zero,
+            (None, true) => {
+                // c' = a_i ∧ 1 = a_i : a Clifford copy.
+                let t = b.alloc();
+                b.cx(tgt[i], t);
+                Carry::Copied(t)
+            }
+            (Some(c), false) => {
+                // c' = a_i ∧ c.
+                let t = and_compute(b, tgt[i], c);
+                Carry::Gadget { q: t, or_form: false }
+            }
+            (Some(c), true) => {
+                // c' = a_i ∨ c = ¬(¬a_i ∧ ¬c).
+                b.x(tgt[i]);
+                b.x(c);
+                let t = and_compute(b, tgt[i], c);
+                b.x(t);
+                b.x(tgt[i]);
+                b.x(c);
+                Carry::Gadget { q: t, or_form: true }
+            }
+        };
+        carries.push(next);
+        carry = next;
+    }
+
+    // Backward pass: apply sum bits top-down, uncomputing each carry right
+    // after its use (its source target bit is still pristine then).
+    for i in (0..m).rev() {
+        // Sum: a_i ^= k_i ^ c_i.
+        if (k >> i) & 1 == 1 {
+            b.x(tgt[i]);
+        }
+        if i > 0 {
+            if let Some(q) = carries[i - 1].qubit() {
+                b.cx(q, tgt[i]);
+            }
+            // Uncompute carry c_i (computed from a_{i-1} and c_{i-1}).
+            let prev: Option<QubitId> = if i >= 2 { carries[i - 2].qubit() } else { None };
+            match carries[i - 1] {
+                Carry::Zero => {}
+                Carry::Copied(q) => {
+                    b.cx(tgt[i - 1], q);
+                    b.release(q);
+                }
+                Carry::Gadget { q, or_form } => {
+                    let c = prev.expect("gadget carries always have a predecessor");
+                    if or_form {
+                        b.x(tgt[i - 1]);
+                        b.x(c);
+                        b.x(q);
+                        and_uncompute(b, tgt[i - 1], c, q);
+                        b.x(tgt[i - 1]);
+                        b.x(c);
+                    } else {
+                        and_uncompute(b, tgt[i - 1], c, q);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `tgt -= k (mod 2^tgt.len())` for a classical constant: the X-conjugated
+/// constant adder.
+pub fn sub_const_into<S: Sink>(b: &mut Builder<S>, k: u64, tgt: &[QubitId]) {
+    for &q in tgt {
+        b.x(q);
+    }
+    add_const_into(b, k, tgt);
+    for &q in tgt {
+        b.x(q);
+    }
+}
+
+/// Compute a fresh flag holding `reg >= k` (unsigned, classical constant,
+/// `k ≤ 2^reg.len()` so the borrow bit is a faithful sign).
+/// All scratch is uncomputed; the flag is uncomputed by calling
+/// [`geq_const_uncompute`] with identical arguments once it is no longer
+/// needed.
+pub fn geq_const_compute<S: Sink>(b: &mut Builder<S>, reg: &[QubitId], k: u64) -> QubitId {
+    let flag = b.alloc();
+    geq_const_apply(b, reg, k, flag);
+    flag
+}
+
+/// Uncompute (and release) a flag produced by [`geq_const_compute`] with the
+/// same register and constant.
+pub fn geq_const_uncompute<S: Sink>(b: &mut Builder<S>, reg: &[QubitId], k: u64, flag: QubitId) {
+    geq_const_apply(b, reg, k, flag);
+    b.release(flag);
+}
+
+/// XOR `reg >= k` into `flag` via a scratch subtraction: copy `reg` into an
+/// `m+1`-bit scratch, subtract `k`, read the borrow (top bit), undo.
+fn geq_const_apply<S: Sink>(b: &mut Builder<S>, reg: &[QubitId], k: u64, flag: QubitId) {
+    let m = reg.len();
+    // `a − k` must stay in (−2^m, 2^m) for the workspace's top bit to act as
+    // a sign bit, hence k ≤ 2^m.
+    assert!(m >= 1 && (m >= 63 || k <= (1u64 << m)));
+    let scratch = b.alloc_register(m + 1);
+    crate::add::xor_into(b, reg, &scratch.0[..m]);
+    sub_const_into(b, k, &scratch.0);
+    // Top bit = 1 iff reg < k; flag ^= NOT top.
+    b.x(scratch.bit(m));
+    b.cx(scratch.bit(m), flag);
+    b.x(scratch.bit(m));
+    add_const_into(b, k, &scratch.0);
+    crate::add::xor_into(b, reg, &scratch.0[..m]);
+    b.release_register(scratch);
+}
+
+/// `if ctrl { tgt += k } (mod 2^tgt.len())` for a classical constant.
+///
+/// Implementation: multiplex the constant's set bits against the control
+/// (one AND per set bit below the top), then a plain quantum addition of the
+/// multiplexed operand.
+pub fn controlled_add_const_into<S: Sink>(
+    b: &mut Builder<S>,
+    ctrl: QubitId,
+    k: u64,
+    tgt: &[QubitId],
+) {
+    let m = tgt.len();
+    assert!(m >= 1 && (m >= 64 || k < (1u64 << m)));
+    if k == 0 {
+        return;
+    }
+    // Build the operand ctrl·k: zero bits stay zero ancillas; set bits are
+    // CNOT copies of ctrl (Clifford).
+    let width = (64 - k.leading_zeros()) as usize;
+    let operand = b.alloc_register(width);
+    for (i, &q) in operand.0.iter().enumerate() {
+        if (k >> i) & 1 == 1 {
+            b.cx(ctrl, q);
+        }
+    }
+    crate::add::add_into(b, &operand.0, tgt);
+    for (i, &q) in operand.0.iter().enumerate().rev() {
+        if (k >> i) & 1 == 1 {
+            b.cx(ctrl, q);
+        }
+    }
+    b.release_register(operand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsim::SimBuilder;
+    use qre_circuit::CountingTracer;
+
+    #[test]
+    fn const_add_exhaustive() {
+        for m in 1..=6usize {
+            for a in 0..(1u64 << m) {
+                for k in 0..(1u64 << m) {
+                    let mut sim = SimBuilder::new();
+                    let reg = sim.alloc_value(m, a);
+                    add_const_into(sim.builder(), k, &reg);
+                    assert_eq!(
+                        sim.read_value(&reg),
+                        (a + k) & ((1 << m) - 1),
+                        "m={m} a={a} k={k}"
+                    );
+                    sim.assert_all_ancillas_clean();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_sub_exhaustive() {
+        for m in 1..=5usize {
+            for a in 0..(1u64 << m) {
+                for k in 0..(1u64 << m) {
+                    let mut sim = SimBuilder::new();
+                    let reg = sim.alloc_value(m, a);
+                    sub_const_into(sim.builder(), k, &reg);
+                    assert_eq!(
+                        sim.read_value(&reg),
+                        a.wrapping_sub(k) & ((1 << m) - 1),
+                        "m={m} a={a} k={k}"
+                    );
+                    sim.assert_all_ancillas_clean();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geq_const_exhaustive() {
+        for m in 1..=5usize {
+            for a in 0..(1u64 << m) {
+                for k in 0..=(1u64 << m) {
+                    let mut sim = SimBuilder::new();
+                    let reg = sim.alloc_value(m, a);
+                    let flag = geq_const_compute(sim.builder(), &reg, k);
+                    sim.adopt(flag);
+                    assert_eq!(
+                        sim.read_value(&[flag]),
+                        u64::from(a >= k),
+                        "m={m} a={a} k={k}"
+                    );
+                    assert_eq!(sim.read_value(&reg), a);
+                    sim.assert_all_ancillas_clean();
+                    // Uncompute restores the flag to zero.
+                    geq_const_uncompute(sim.builder(), &reg, k, flag);
+                    assert_eq!(sim.read_value(&[flag]), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_const_add_exhaustive() {
+        for m in 2..=5usize {
+            for a in 0..(1u64 << m) {
+                for k in [1u64, 3, (1 << m) - 1, 5 % (1 << m)] {
+                    for ctrl_val in 0..2u64 {
+                        let mut sim = SimBuilder::new();
+                        let reg = sim.alloc_value(m, a);
+                        let ctrl = sim.alloc_value(1, ctrl_val);
+                        controlled_add_const_into(sim.builder(), ctrl[0], k, &reg);
+                        let want = if ctrl_val == 1 {
+                            (a + k) & ((1 << m) - 1)
+                        } else {
+                            a
+                        };
+                        assert_eq!(sim.read_value(&reg), want, "m={m} a={a} k={k} c={ctrl_val}");
+                        assert_eq!(sim.read_value(&ctrl), ctrl_val);
+                        sim.assert_all_ancillas_clean();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_add_is_cheaper_than_quantum_add() {
+        let m = 32usize;
+        let k = 0xDEAD_BEEFu64 & ((1 << m) - 1);
+        let mut b = qre_circuit::Builder::new(CountingTracer::new());
+        let reg = b.alloc_register(m);
+        add_const_into(&mut b, k, &reg.0);
+        let c = b.into_sink().counts();
+        assert!(
+            c.ccix_count < (m as u64),
+            "constant add used {} ANDs",
+            c.ccix_count
+        );
+        // A quantum-quantum add of the same width costs m−1 ANDs plus the
+        // multiplex; the constant adder must not exceed the bare adder.
+        assert_eq!(c.ccz_count, 0);
+    }
+
+    #[test]
+    fn zero_constant_is_free() {
+        let mut b = qre_circuit::Builder::new(CountingTracer::new());
+        let reg = b.alloc_register(8);
+        add_const_into(&mut b, 0, &reg.0);
+        let c = b.into_sink().counts();
+        assert_eq!(c.ccix_count, 0);
+        assert_eq!(c.measurement_count, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The temporary logical-AND gadget (Gidney, arXiv:1709.06648).
+//!
+//! `AND` computes `t = x ∧ y` into a fresh target using one CCiX operation
+//! (which the planar ISA treats as a primitive consuming four T states over
+//! three logical cycles — paper Section III-B). The *uncompute* direction is
+//! where the construction earns its keep: measuring the target in the X basis
+//! and applying a classically-controlled CZ erases it with **no** T states —
+//! one logical measurement plus Cliffords.
+//!
+//! All adders and multipliers in this crate are built on this gadget, so
+//! their T-state demand is carried entirely by CCiX counts and their
+//! measurement counts reflect the uncompute halves.
+
+use qre_circuit::{Builder, QubitId, Sink};
+
+/// Compute `t = x ∧ y` into a freshly allocated qubit and return it.
+pub fn and_compute<S: Sink>(b: &mut Builder<S>, x: QubitId, y: QubitId) -> QubitId {
+    let t = b.alloc();
+    b.ccix(x, y, t);
+    t
+}
+
+/// Uncompute a target previously produced by [`and_compute`] with the same
+/// operands, releasing the qubit. Costs one X-basis measurement and a
+/// (classically controlled) CZ — no T states.
+pub fn and_uncompute<S: Sink>(b: &mut Builder<S>, x: QubitId, y: QubitId, t: QubitId) {
+    b.measure_x(t);
+    // The CZ fires on a |−⟩ outcome; resource accounting is outcome
+    // independent, so it is emitted unconditionally.
+    b.cz(x, y);
+    b.release(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qre_circuit::CountingTracer;
+
+    #[test]
+    fn compute_costs_one_ccix() {
+        let mut b = Builder::new(CountingTracer::new());
+        let x = b.alloc();
+        let y = b.alloc();
+        let t = and_compute(&mut b, x, y);
+        assert_ne!(t, x);
+        assert_ne!(t, y);
+        let c = b.into_sink().counts();
+        assert_eq!(c.ccix_count, 1);
+        assert_eq!(c.t_count, 0);
+        assert_eq!(c.measurement_count, 0);
+        assert_eq!(c.num_qubits, 3);
+    }
+
+    #[test]
+    fn uncompute_costs_one_measurement_and_frees_the_qubit() {
+        let mut b = Builder::new(CountingTracer::new());
+        let x = b.alloc();
+        let y = b.alloc();
+        let t = and_compute(&mut b, x, y);
+        and_uncompute(&mut b, x, y, t);
+        assert_eq!(b.live_qubits(), 2);
+        let c = b.into_sink().counts();
+        assert_eq!(c.ccix_count, 1);
+        assert_eq!(c.measurement_count, 1);
+        assert_eq!(c.num_qubits, 3); // peak includes the temporary
+    }
+
+    #[test]
+    fn repeated_pairs_reuse_space() {
+        let mut b = Builder::new(CountingTracer::new());
+        let x = b.alloc();
+        let y = b.alloc();
+        for _ in 0..100 {
+            let t = and_compute(&mut b, x, y);
+            and_uncompute(&mut b, x, y, t);
+        }
+        let c = b.into_sink().counts();
+        assert_eq!(c.num_qubits, 3, "temporary must be reused, not stacked");
+        assert_eq!(c.ccix_count, 100);
+        assert_eq!(c.measurement_count, 100);
+    }
+}

@@ -1,0 +1,339 @@
+//! Table lookup (QROM) and its measurement-based uncomputation.
+//!
+//! [`lookup`] writes `target ^= table[address]` using the *unary iteration*
+//! construction (Babbush et al., arXiv:1805.03662) with Gidney's
+//! temporary-AND node ancillas and the sibling-CNOT optimisation: one AND per
+//! internal tree node, for a total of `N − 2` CCiX gates (`N` table entries,
+//! `N ≥ 2`) and `⌈log₂N⌉ − 1` transient ancillas.
+//!
+//! [`unlookup`] erases the looked-up value with Gidney's measurement-based
+//! scheme (arXiv:1905.07682): X-measure the whole output register, then apply
+//! a phase-fixup lookup over only `2^⌈w/2⌉` addresses — a √N-sized cost
+//! instead of a second full lookup.
+//!
+//! Table **data** is optional: when provided, every leaf emits its real
+//! controlled writes (and the circuit simulates classically); when absent
+//! (resource-only mode, e.g. the table of multiples of a 16 384-bit operand),
+//! each leaf emits a single phase-only placeholder so that emission stays
+//! `O(N)` instead of `O(N·m)`. Clifford writes affect no counted quantity, so
+//! both modes yield identical [`LogicalCounts`](qre_circuit::LogicalCounts).
+
+use crate::gadgets::{and_compute, and_uncompute};
+use qre_circuit::{Builder, QubitId, Sink};
+
+/// Table contents for [`lookup`].
+#[derive(Debug, Clone, Copy)]
+pub enum TableData<'a> {
+    /// Real entry values (little-endian); enables classical simulation.
+    Values(&'a [u64]),
+    /// Resource-only mode: `n_entries` abstract entries.
+    Abstract {
+        /// Number of table entries.
+        n_entries: usize,
+    },
+}
+
+impl TableData<'_> {
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        match self {
+            TableData::Values(v) => v.len(),
+            TableData::Abstract { n_entries } => *n_entries,
+        }
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn value(&self, idx: usize) -> Option<u64> {
+        match self {
+            TableData::Values(v) => Some(v[idx]),
+            TableData::Abstract { .. } => None,
+        }
+    }
+}
+
+/// `target ^= table[address]`.
+///
+/// `address` is little-endian; entries beyond `table.len()` are never
+/// selected (the iteration tree is pruned), which the caller guarantees by
+/// never letting the address register exceed the table. Cost for a full
+/// table (`N = 2^w ≥ 2`): `N − 2` CCiX, `N − 2` measurements.
+pub fn lookup<S: Sink>(
+    b: &mut Builder<S>,
+    address: &[QubitId],
+    target: &[QubitId],
+    table: TableData<'_>,
+) {
+    let n = table.len();
+    assert!(n >= 1, "lookup requires at least one entry");
+    assert!(
+        n <= 1usize << address.len().min(63),
+        "table larger than the address space"
+    );
+    // MSB-first walk over the address bits.
+    let msb_first: Vec<QubitId> = address.iter().rev().copied().collect();
+    walk(b, None, &msb_first, 0, 1 << msb_first.len(), &table, target);
+}
+
+/// Recursive unary-iteration walker. `ctrl` is the conjunction of the path so
+/// far (`None` at the root), `span` the number of leaves under this node.
+fn walk<S: Sink>(
+    b: &mut Builder<S>,
+    ctrl: Option<QubitId>,
+    bits: &[QubitId],
+    base: usize,
+    span: usize,
+    table: &TableData<'_>,
+    target: &[QubitId],
+) {
+    if base >= table.len() {
+        return; // pruned: no selectable leaves below
+    }
+    let Some((&top, rest)) = bits.split_first() else {
+        emit_leaf(b, ctrl, base, table, target);
+        return;
+    };
+    let half = span / 2;
+    match ctrl {
+        None => {
+            // Root: the bare (negated) bit controls each half directly.
+            b.x(top);
+            walk(b, Some(top), rest, base, half, table, target);
+            b.x(top);
+            if base + half < table.len() {
+                walk(b, Some(top), rest, base + half, half, table, target);
+            }
+        }
+        Some(c) => {
+            // t = c ∧ ¬top, flipped to c ∧ top for the sibling via one CNOT.
+            b.x(top);
+            let t = and_compute(b, c, top);
+            b.x(top);
+            walk(b, Some(t), rest, base, half, table, target);
+            if base + half < table.len() {
+                b.cx(c, t); // t := c ∧ top
+                walk(b, Some(t), rest, base + half, half, table, target);
+                and_uncompute(b, c, top, t);
+            } else {
+                b.x(top);
+                and_uncompute(b, c, top, t);
+                b.x(top);
+            }
+        }
+    }
+}
+
+fn emit_leaf<S: Sink>(
+    b: &mut Builder<S>,
+    ctrl: Option<QubitId>,
+    index: usize,
+    table: &TableData<'_>,
+    target: &[QubitId],
+) {
+    match table.value(index) {
+        Some(value) => {
+            for (j, &t) in target.iter().enumerate() {
+                if (value >> j) & 1 == 1 {
+                    match ctrl {
+                        Some(c) => b.cx(c, t),
+                        None => b.x(t),
+                    }
+                }
+            }
+            // Entries wider than 64 bits are not needed by the test suite;
+            // resource-only mode covers the wide registers of the figures.
+            debug_assert!(target.len() <= 64 || value >> 63 <= 1);
+        }
+        None => {
+            // Placeholder: phase-only so a classical simulation is unaffected.
+            match ctrl {
+                Some(c) => b.cz(c, target[0]),
+                None => b.z(target[0]),
+            }
+        }
+    }
+}
+
+/// Erase a looked-up register with measurement-based uncomputation, releasing
+/// its qubits.
+///
+/// Cost: `m` X-measurements (m = target width) plus a fixup lookup pair over
+/// `N' = 2^⌈w/2⌉` addresses (`2(N'−2)` CCiX / measurements and a transient
+/// `2^⌊w/2⌋`-qubit fixup register).
+pub fn unlookup<S: Sink>(
+    b: &mut Builder<S>,
+    address: &[QubitId],
+    target: Vec<QubitId>,
+    n_entries: usize,
+) {
+    // X-measure the data register away.
+    for &t in &target {
+        b.measure_x(t);
+    }
+    // Phase fixup: a lookup over the high half of the address writing a
+    // 2^(w_lo)-bit correction mask, a layer of CZs (Clifford), and the
+    // mask's own (recursive, but terminal in practice) erasure — emitted
+    // here as the standard lookup/inverse-lookup pair.
+    let w = address.len().min(64.min(usize::BITS as usize - 1));
+    if n_entries > 2 && w >= 2 {
+        let w_hi = w.div_ceil(2);
+        let w_lo = w - w_hi;
+        let hi_entries = n_entries.div_ceil(1 << w_lo).max(1);
+        let mask_width = 1usize << w_lo.min(16); // cap transient register size
+        let mask = b.alloc_register(mask_width);
+        let hi_addr = &address[w_lo..];
+        lookup(
+            b,
+            hi_addr,
+            &mask.0,
+            TableData::Abstract {
+                n_entries: hi_entries,
+            },
+        );
+        // Phase corrections between mask bits and the low address bits are
+        // Clifford CZs; representative emission.
+        b.cz(mask.bit(0), address[0]);
+        lookup(
+            b,
+            hi_addr,
+            &mask.0,
+            TableData::Abstract {
+                n_entries: hi_entries,
+            },
+        );
+        b.release_register(mask);
+    }
+    for t in target.into_iter().rev() {
+        b.release(t);
+    }
+}
+
+/// CCiX cost of a full-table lookup — the closed form validated by tests.
+pub fn lookup_ccix_cost(n_entries: usize) -> u64 {
+    (n_entries as u64).saturating_sub(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsim::SimBuilder;
+    use qre_circuit::CountingTracer;
+
+    #[test]
+    fn lookup_reads_correct_entries() {
+        for w in 1..=4usize {
+            let n = 1usize << w;
+            let table: Vec<u64> = (0..n as u64).map(|k| (k * 7 + 3) & 0xFF).collect();
+            for addr_val in 0..n as u64 {
+                let mut sim = SimBuilder::new();
+                let addr = sim.alloc_value(w, addr_val);
+                let tgt = sim.alloc_value(8, 0);
+                lookup(sim.builder(), &addr, &tgt, TableData::Values(&table));
+                assert_eq!(
+                    sim.read_value(&tgt),
+                    table[addr_val as usize],
+                    "w={w} addr={addr_val}"
+                );
+                assert_eq!(sim.read_value(&addr), addr_val, "address preserved");
+                sim.assert_all_ancillas_clean();
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_xors_into_nonzero_target() {
+        let table = [0b1010u64, 0b0110, 0b1111, 0b0001];
+        let mut sim = SimBuilder::new();
+        let addr = sim.alloc_value(2, 2);
+        let tgt = sim.alloc_value(4, 0b0101);
+        lookup(sim.builder(), &addr, &tgt, TableData::Values(&table));
+        assert_eq!(sim.read_value(&tgt), 0b1111 ^ 0b0101);
+        sim.assert_all_ancillas_clean();
+    }
+
+    #[test]
+    fn truncated_tables_prune() {
+        // 5 entries under a 3-bit address: addresses 0..5 work.
+        let table = [3u64, 1, 4, 1, 5];
+        for addr_val in 0..5u64 {
+            let mut sim = SimBuilder::new();
+            let addr = sim.alloc_value(3, addr_val);
+            let tgt = sim.alloc_value(4, 0);
+            lookup(sim.builder(), &addr, &tgt, TableData::Values(&table));
+            assert_eq!(sim.read_value(&tgt), table[addr_val as usize]);
+            sim.assert_all_ancillas_clean();
+        }
+    }
+
+    #[test]
+    fn full_lookup_costs_n_minus_2() {
+        for w in 1..=8usize {
+            let n = 1usize << w;
+            let mut b = qre_circuit::Builder::new(CountingTracer::new());
+            let addr = b.alloc_register(w);
+            let tgt = b.alloc_register(4);
+            lookup(
+                &mut b,
+                &addr.0,
+                &tgt.0,
+                TableData::Abstract { n_entries: n },
+            );
+            let c = b.into_sink().counts();
+            assert_eq!(c.ccix_count, lookup_ccix_cost(n), "w={w}");
+            assert_eq!(c.measurement_count, lookup_ccix_cost(n), "w={w}");
+            // Peak transient ancillas: one per tree level below the root.
+            let expected_anc = (w as u64).saturating_sub(1);
+            assert_eq!(c.num_qubits, (w + 4) as u64 + expected_anc, "w={w}");
+        }
+    }
+
+    #[test]
+    fn unlookup_measures_target_and_costs_sqrt() {
+        let w = 8usize;
+        let n = 1usize << w;
+        let m = 16usize;
+        let mut b = qre_circuit::Builder::new(CountingTracer::new());
+        let addr = b.alloc_register(w);
+        let tgt = b.alloc_register(m);
+        unlookup(&mut b, &addr.0, tgt.0, n);
+        assert_eq!(b.live_qubits(), w as u64, "target must be released");
+        let c = b.into_sink().counts();
+        // Fixup pair: 2 * (2^{w/2} - 2) CCiX.
+        let n_hi = 1u64 << w.div_ceil(2);
+        assert_eq!(c.ccix_count, 2 * (n_hi - 2));
+        assert_eq!(c.measurement_count, m as u64 + 2 * (n_hi - 2));
+    }
+
+    #[test]
+    fn lookup_then_unlookup_round_trip_sim() {
+        // Functionally: looked-up value is erased; address intact.
+        let table = [9u64, 2, 7, 4];
+        let mut sim = SimBuilder::new();
+        let addr = sim.alloc_value(2, 3);
+        let tgt = sim.alloc_value(4, 0);
+        lookup(sim.builder(), &addr, &tgt, TableData::Values(&table));
+        assert_eq!(sim.read_value(&tgt), 4);
+        let tgt_vec = tgt.clone();
+        unlookup(sim.builder(), &addr, tgt_vec, 4);
+        assert_eq!(sim.read_value(&addr), 3);
+        // Target bits were measured to zero.
+        assert_eq!(sim.read_value(&tgt), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the address space")]
+    fn oversized_table_rejected() {
+        let mut b = qre_circuit::Builder::new(CountingTracer::new());
+        let addr = b.alloc_register(2);
+        let tgt = b.alloc_register(2);
+        lookup(
+            &mut b,
+            &addr.0,
+            &tgt.0,
+            TableData::Abstract { n_entries: 5 },
+        );
+    }
+}

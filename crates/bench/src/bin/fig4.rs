@@ -1,0 +1,38 @@
+//! Regenerates **Figure 4** of the paper: physical qubits and runtime for
+//! the three multiplication algorithms at 2 048 bits across the six default
+//! hardware profiles (surface code for gate-based profiles, floquet code for
+//! Majorana profiles; total error budget 10⁻⁴).
+//!
+//! ```text
+//! cargo run -p qre-bench --bin fig4 --release
+//! ```
+//!
+//! Prints the series table and writes `target/experiments/fig4.csv`.
+
+use qre_bench::{fig4_series, format_table, to_csv, write_artifact};
+use std::io::Write as _;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let mut rows = fig4_series();
+    rows.sort_by(|a, b| {
+        (a.algorithm.name(), a.profile.clone()).cmp(&(b.algorithm.name(), b.profile.clone()))
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "Figure 4 — 2048-bit multiplication across six hardware profiles (budget 1e-4)\n"
+    );
+    let _ = write!(out, "{}", format_table(&rows));
+    match write_artifact("fig4.csv", &to_csv(&rows)) {
+        Ok(path) => {
+            let _ = writeln!(out, "\nCSV written to {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\nfailed to write CSV: {e}");
+        }
+    }
+    let _ = writeln!(out, "completed in {:.1?}", start.elapsed());
+}

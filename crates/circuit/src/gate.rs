@@ -1,0 +1,285 @@
+//! The logical gate set and its resource classification.
+//!
+//! The estimator's pre-layout step (paper Section III-A) cares about five
+//! categories of operations: Clifford gates (free at the logical level), T
+//! gates, arbitrary single-qubit rotations, Toffoli-like gates (CCZ and
+//! CCiX), and single-qubit measurements. [`Gate::kind`] performs that
+//! classification, including angle analysis for rotation gates (a rotation by
+//! a multiple of π/2 is Clifford; an odd multiple of π/4 is a T gate in
+//! disguise and is counted as such).
+
+use std::fmt;
+
+/// Identifier of a logical qubit within a circuit or builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QubitId(pub u32);
+
+impl QubitId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QubitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A logical gate (or measurement) in the planar-ISA gate vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Adjoint phase gate.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// Adjoint T.
+    Tdg,
+    /// X-rotation by the given angle (radians).
+    Rx(f64),
+    /// Y-rotation by the given angle (radians).
+    Ry(f64),
+    /// Z-rotation by the given angle (radians).
+    Rz(f64),
+    /// Controlled X.
+    Cx,
+    /// Controlled Z.
+    Cz,
+    /// Qubit swap.
+    Swap,
+    /// Doubly-controlled Z (Toffoli up to Hadamard conjugation).
+    Ccz,
+    /// Doubly-controlled X (Toffoli). Counted identically to CCZ.
+    Ccx,
+    /// The CCiX / logical-AND gate of Gidney's temporary-AND construction.
+    CCiX,
+    /// Single-qubit Z-basis measurement.
+    MeasureZ,
+    /// Single-qubit X-basis measurement.
+    MeasureX,
+    /// Reset to |0⟩ (a measurement followed by a classically controlled X at
+    /// the logical level; counted as a measurement).
+    Reset,
+}
+
+/// Resource category of a gate, as consumed by the pre-layout counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Clifford operation — free at the logical level (absorbed into the
+    /// Pauli frame / lattice surgery schedule).
+    Clifford,
+    /// A T or T† gate: consumes one magic state.
+    TGate,
+    /// An arbitrary rotation: synthesised into a T sequence at estimation
+    /// time (paper Section III-B.4).
+    Rotation,
+    /// CCZ / CCX / CCiX: consumes four magic states over three logical
+    /// cycles (paper Section III-B.3/4).
+    Toffoli,
+    /// A single-qubit measurement (including reset).
+    Measurement,
+}
+
+/// Angle classification tolerance: angles this close to a lattice point of
+/// π/4 are treated as exact. The value is far above f64 rounding from angle
+/// arithmetic yet far below any angle a synthesis step would distinguish.
+const ANGLE_EPS: f64 = 1e-10;
+
+/// Classify a rotation angle:
+/// returns `GateKind::Clifford` for multiples of π/2, `GateKind::TGate` for
+/// odd multiples of π/4, `GateKind::Rotation` otherwise.
+pub fn classify_angle(theta: f64) -> GateKind {
+    let quarter_turns = theta / std::f64::consts::FRAC_PI_4;
+    let nearest = quarter_turns.round();
+    if (quarter_turns - nearest).abs() < ANGLE_EPS {
+        // An even number of π/4 steps is a power of S (Clifford); odd is a T
+        // power times Clifford.
+        if (nearest as i64).rem_euclid(2) == 0 {
+            GateKind::Clifford
+        } else {
+            GateKind::TGate
+        }
+    } else {
+        GateKind::Rotation
+    }
+}
+
+impl Gate {
+    /// Resource category of this gate.
+    pub fn kind(self) -> GateKind {
+        match self {
+            Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::Cx
+            | Gate::Cz
+            | Gate::Swap => GateKind::Clifford,
+            Gate::T | Gate::Tdg => GateKind::TGate,
+            Gate::Rx(theta) | Gate::Ry(theta) | Gate::Rz(theta) => classify_angle(theta),
+            Gate::Ccz | Gate::Ccx => GateKind::Toffoli,
+            Gate::CCiX => GateKind::Toffoli,
+            Gate::MeasureZ | Gate::MeasureX | Gate::Reset => GateKind::Measurement,
+        }
+    }
+
+    /// Number of qubit operands this gate expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::MeasureZ
+            | Gate::MeasureX
+            | Gate::Reset => 1,
+            Gate::Cx | Gate::Cz | Gate::Swap => 2,
+            Gate::Ccz | Gate::Ccx | Gate::CCiX => 3,
+        }
+    }
+
+    /// Canonical lower-case mnemonic (matches the QIR-lite vocabulary).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "s_adj",
+            Gate::T => "t",
+            Gate::Tdg => "t_adj",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Cx => "cnot",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Ccz => "ccz",
+            Gate::Ccx => "ccx",
+            Gate::CCiX => "ccix",
+            Gate::MeasureZ => "mz",
+            Gate::MeasureX => "mx",
+            Gate::Reset => "reset",
+        }
+    }
+
+    /// The rotation angle, if this is a rotation gate.
+    pub fn angle(self) -> Option<f64> {
+        match self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.angle() {
+            Some(theta) => write!(f, "{}({theta})", self.mnemonic()),
+            None => f.write_str(self.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn clifford_classification() {
+        for g in [
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+        ] {
+            assert_eq!(g.kind(), GateKind::Clifford, "{g}");
+        }
+    }
+
+    #[test]
+    fn t_gates_and_toffolis() {
+        assert_eq!(Gate::T.kind(), GateKind::TGate);
+        assert_eq!(Gate::Tdg.kind(), GateKind::TGate);
+        assert_eq!(Gate::Ccz.kind(), GateKind::Toffoli);
+        assert_eq!(Gate::Ccx.kind(), GateKind::Toffoli);
+        assert_eq!(Gate::CCiX.kind(), GateKind::Toffoli);
+    }
+
+    #[test]
+    fn rotation_angle_analysis() {
+        // Multiples of π/2 are Clifford.
+        assert_eq!(Gate::Rz(0.0).kind(), GateKind::Clifford);
+        assert_eq!(Gate::Rz(FRAC_PI_2).kind(), GateKind::Clifford);
+        assert_eq!(Gate::Rz(PI).kind(), GateKind::Clifford);
+        assert_eq!(Gate::Rz(-PI).kind(), GateKind::Clifford);
+        assert_eq!(Gate::Rz(2.0 * PI).kind(), GateKind::Clifford);
+        // Odd multiples of π/4 are T-like.
+        assert_eq!(Gate::Rz(FRAC_PI_4).kind(), GateKind::TGate);
+        assert_eq!(Gate::Rz(-FRAC_PI_4).kind(), GateKind::TGate);
+        assert_eq!(Gate::Rz(3.0 * FRAC_PI_4).kind(), GateKind::TGate);
+        // Anything else is an arbitrary rotation.
+        assert_eq!(Gate::Rz(0.3).kind(), GateKind::Rotation);
+        assert_eq!(Gate::Rx(1.0).kind(), GateKind::Rotation);
+        assert_eq!(Gate::Ry(1e-3).kind(), GateKind::Rotation);
+    }
+
+    #[test]
+    fn angle_tolerance() {
+        // Tiny numerical error still classifies as Clifford/T.
+        assert_eq!(Gate::Rz(FRAC_PI_2 + 1e-13).kind(), GateKind::Clifford);
+        assert_eq!(Gate::Rz(FRAC_PI_4 - 1e-13).kind(), GateKind::TGate);
+        // A deliberate offset does not.
+        assert_eq!(Gate::Rz(FRAC_PI_4 + 1e-6).kind(), GateKind::Rotation);
+    }
+
+    #[test]
+    fn measurements() {
+        assert_eq!(Gate::MeasureZ.kind(), GateKind::Measurement);
+        assert_eq!(Gate::MeasureX.kind(), GateKind::Measurement);
+        assert_eq!(Gate::Reset.kind(), GateKind::Measurement);
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::Cx.arity(), 2);
+        assert_eq!(Gate::Ccz.arity(), 3);
+        assert_eq!(Gate::Rz(0.5).arity(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::Rz(0.5).to_string(), "rz(0.5)");
+        assert_eq!(QubitId(3).to_string(), "q3");
+    }
+}

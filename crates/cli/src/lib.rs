@@ -1,0 +1,502 @@
+//! # qre-cli
+//!
+//! The job-spec layer behind the `qre` command-line tool: a local stand-in
+//! for the cloud estimation target of paper Section IV-A ("the tool will act
+//! like a cloud target to which one can submit a resource estimation job").
+//!
+//! A job is a JSON document:
+//!
+//! ```json
+//! {
+//!   "algorithm": { "logicalCounts": { "numQubits": 100, "tCount": 50000 } },
+//!   "qubitParams": { "name": "qubit_maj_ns_e4" },
+//!   "qecScheme": { "name": "floquet_code" },
+//!   "errorBudget": 1e-4,
+//!   "constraints": { "maxTFactories": 4 },
+//!   "estimateType": "single"
+//! }
+//! ```
+//!
+//! Algorithms can be given as logical counts (Section IV-B.3), inline
+//! QIR-lite text (Section IV-B.2), or a built-in multiplication workload
+//! (Section V). Hardware profiles are the six defaults, optionally with
+//! field overrides. `estimateType` is `"single"` (default) or `"frontier"`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use qre_arith::MulAlgorithm;
+use qre_circuit::{qir, LogicalCounts};
+use qre_core::{
+    EstimationJob, EstimationJobBuilder, PhysicalQubit, QecSchemeKind,
+};
+use qre_json::{ObjectBuilder, Value};
+
+/// Parsed job specification.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// The assembled estimation job.
+    pub job: EstimationJob,
+    /// Whether to produce a frontier instead of a single estimate.
+    pub frontier: bool,
+}
+
+/// A parsed submission: a single job or a batch (`{"items": [job, ...]}`),
+/// mirroring the service's job-array submissions.
+#[derive(Debug)]
+pub enum Submission {
+    /// One job.
+    Single(JobSpec),
+    /// A batch of independent jobs, estimated in submission order.
+    Batch(Vec<JobSpec>),
+}
+
+/// Parse a submission: either a single job object or `{"items": [...]}`.
+pub fn parse_submission(text: &str) -> Result<Submission, String> {
+    let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
+    if let Some(items) = doc.get("items") {
+        let items = items
+            .as_array()
+            .ok_or("`items` must be an array of job objects")?;
+        if items.is_empty() {
+            return Err("`items` must contain at least one job".into());
+        }
+        let mut jobs = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let spec = parse_job(&item.to_string_compact())
+                .map_err(|e| format!("items[{i}]: {e}"))?;
+            jobs.push(spec);
+        }
+        return Ok(Submission::Batch(jobs));
+    }
+    parse_job(text).map(Submission::Single)
+}
+
+/// Run a submission: a single result object, or `{"items": [...]}` for a
+/// batch. Batch items that fail estimation report their error in place
+/// instead of failing the whole submission.
+pub fn run_submission(submission: &Submission) -> Result<Value, String> {
+    match submission {
+        Submission::Single(spec) => run_job(spec),
+        Submission::Batch(jobs) => {
+            let items: Vec<Value> = jobs
+                .iter()
+                .map(|spec| match run_job(spec) {
+                    Ok(v) => v,
+                    Err(e) => ObjectBuilder::new()
+                        .field("status", "error")
+                        .field("message", e)
+                        .build(),
+                })
+                .collect();
+            Ok(ObjectBuilder::new()
+                .field("status", "success")
+                .field("items", Value::Array(items))
+                .build())
+        }
+    }
+}
+
+/// Parse and validate a JSON job document.
+pub fn parse_job(text: &str) -> Result<JobSpec, String> {
+    let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
+    if doc.as_object().is_none() {
+        return Err("job specification must be a JSON object".into());
+    }
+
+    let counts = parse_algorithm(
+        doc.get("algorithm")
+            .ok_or("missing required field `algorithm`")?,
+    )?;
+    let qubit = parse_qubit_params(doc.get("qubitParams"))?;
+    let qec = parse_qec(doc.get("qecScheme"))?;
+
+    let mut builder: EstimationJobBuilder = EstimationJob::builder()
+        .counts(counts)
+        .profile(qubit)
+        .qec(qec);
+
+    builder = match doc.get("errorBudget") {
+        None => builder.total_error_budget(1e-3),
+        Some(v) => {
+            if let Some(total) = v.as_f64() {
+                builder.total_error_budget(total)
+            } else if v.as_object().is_some() {
+                let part = |name: &str| -> Result<f64, String> {
+                    v.get(name)
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or_else(|| format!("errorBudget.{name} must be a number"))
+                        })
+                        .transpose()
+                        .map(|o| o.unwrap_or(0.0))
+                };
+                builder.error_budget_parts(part("logical")?, part("tStates")?, part("rotations")?)
+            } else {
+                return Err("`errorBudget` must be a number or an object".into());
+            }
+        }
+    };
+
+    if let Some(c) = doc.get("constraints") {
+        if c.as_object().is_none() {
+            return Err("`constraints` must be an object".into());
+        }
+        if let Some(v) = c.get("logicalDepthFactor") {
+            builder = builder.logical_depth_factor(
+                v.as_f64().ok_or("logicalDepthFactor must be a number")?,
+            );
+        }
+        if let Some(v) = c.get("maxTFactories") {
+            builder =
+                builder.max_t_factories(v.as_u64().ok_or("maxTFactories must be an integer")?);
+        }
+        if let Some(v) = c.get("maxDurationNs") {
+            builder =
+                builder.max_duration_ns(v.as_f64().ok_or("maxDurationNs must be a number")?);
+        }
+        if let Some(v) = c.get("maxPhysicalQubits") {
+            builder = builder.max_physical_qubits(
+                v.as_u64().ok_or("maxPhysicalQubits must be an integer")?,
+            );
+        }
+    }
+
+    let frontier = match doc.get("estimateType").and_then(Value::as_str) {
+        None | Some("single") => false,
+        Some("frontier") => true,
+        Some(other) => return Err(format!("unknown estimateType `{other}`")),
+    };
+
+    let job = builder.build().map_err(|e| e.to_string())?;
+    Ok(JobSpec { job, frontier })
+}
+
+fn parse_algorithm(v: &Value) -> Result<LogicalCounts, String> {
+    if let Some(counts) = v.get("logicalCounts") {
+        return LogicalCounts::from_json(counts);
+    }
+    if let Some(qir_text) = v.get("qir").and_then(Value::as_str) {
+        let circuit = qir::parse_qir(qir_text).map_err(|e| e.to_string())?;
+        let counts = circuit.counts();
+        if counts.num_qubits == 0 {
+            return Err("QIR program uses no qubits".into());
+        }
+        return Ok(counts);
+    }
+    if let Some(m) = v.get("multiplication") {
+        let alg = match m.get("algorithm").and_then(Value::as_str) {
+            Some("standard" | "schoolbook") => MulAlgorithm::Schoolbook,
+            Some("karatsuba") => MulAlgorithm::Karatsuba,
+            Some("windowed") => MulAlgorithm::Windowed,
+            Some(other) => return Err(format!("unknown multiplication algorithm `{other}`")),
+            None => return Err("multiplication requires an `algorithm` field".into()),
+        };
+        let bits = m
+            .get("bits")
+            .and_then(Value::as_u64)
+            .ok_or("multiplication requires integer `bits`")? as usize;
+        if !(2..=1 << 20).contains(&bits) {
+            return Err(format!("bits must lie in 2..=2^20, got {bits}"));
+        }
+        return Ok(qre_arith::multiplication_counts(alg, bits));
+    }
+    Err("`algorithm` must contain `logicalCounts`, `qir`, or `multiplication`".into())
+}
+
+fn parse_qubit_params(v: Option<&Value>) -> Result<PhysicalQubit, String> {
+    let Some(v) = v else {
+        return Ok(PhysicalQubit::qubit_gate_ns_e3());
+    };
+    if v.as_object().is_none() {
+        return Err("`qubitParams` must be an object".into());
+    }
+    let mut qubit = match v.get("name").and_then(Value::as_str) {
+        Some(name) => PhysicalQubit::by_name(name)
+            .ok_or_else(|| format!("unknown qubit profile `{name}`"))?,
+        None => PhysicalQubit::qubit_gate_ns_e3(),
+    };
+    // Field overrides (Section IV-C.1: "customize a subset of the
+    // parameters of the default models").
+    let set = |field: &mut f64, key: &str| -> Result<(), String> {
+        if let Some(x) = v.get(key) {
+            *field = x
+                .as_f64()
+                .ok_or_else(|| format!("`qubitParams.{key}` must be a number"))?;
+        }
+        Ok(())
+    };
+    set(&mut qubit.one_qubit_gate_time_ns, "oneQubitGateTimeNs")?;
+    set(&mut qubit.two_qubit_gate_time_ns, "twoQubitGateTimeNs")?;
+    set(
+        &mut qubit.one_qubit_measurement_time_ns,
+        "oneQubitMeasurementTimeNs",
+    )?;
+    set(
+        &mut qubit.two_qubit_measurement_time_ns,
+        "twoQubitMeasurementTimeNs",
+    )?;
+    set(&mut qubit.t_gate_time_ns, "tGateTimeNs")?;
+    set(&mut qubit.one_qubit_gate_error, "oneQubitGateError")?;
+    set(&mut qubit.two_qubit_gate_error, "twoQubitGateError")?;
+    set(
+        &mut qubit.one_qubit_measurement_error,
+        "oneQubitMeasurementError",
+    )?;
+    set(
+        &mut qubit.two_qubit_measurement_error,
+        "twoQubitMeasurementError",
+    )?;
+    set(&mut qubit.t_gate_error, "tGateError")?;
+    set(&mut qubit.idle_error, "idleError")?;
+    qubit.validate().map_err(|e| e.to_string())?;
+    Ok(qubit)
+}
+
+fn parse_qec(v: Option<&Value>) -> Result<QecSchemeKind, String> {
+    let Some(v) = v else {
+        return Ok(QecSchemeKind::SurfaceCode);
+    };
+    match v.get("name").and_then(Value::as_str) {
+        None => Err("`qecScheme` requires a `name`".into()),
+        Some("surface_code") => Ok(QecSchemeKind::SurfaceCode),
+        Some("floquet_code") => Ok(QecSchemeKind::FloquetCode),
+        Some(other) => Err(format!("unknown QEC scheme `{other}`")),
+    }
+}
+
+/// Run a job specification, producing the result JSON (a single result
+/// object, or a frontier array).
+pub fn run_job(spec: &JobSpec) -> Result<Value, String> {
+    if spec.frontier {
+        let points = spec.job.estimate_frontier().map_err(|e| e.to_string())?;
+        let items: Vec<Value> = points
+            .iter()
+            .map(|p| {
+                ObjectBuilder::new()
+                    .field("maxTFactories", p.max_t_factories)
+                    .field("result", p.result.to_json())
+                    .build()
+            })
+            .collect();
+        Ok(ObjectBuilder::new()
+            .field("status", "success")
+            .field("estimateType", "frontier")
+            .field("frontier", Value::Array(items))
+            .build())
+    } else {
+        let result = spec.job.estimate().map_err(|e| e.to_string())?;
+        Ok(result.to_json())
+    }
+}
+
+/// Run a job and return the human-readable report instead of JSON.
+pub fn run_job_report(spec: &JobSpec) -> Result<String, String> {
+    let result = spec.job.estimate().map_err(|e| e.to_string())?;
+    Ok(result.to_report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTS_JOB: &str = r#"{
+        "algorithm": { "logicalCounts": { "numQubits": 100, "tCount": 50000, "cczCount": 1000, "measurementCount": 20000 } },
+        "qubitParams": { "name": "qubit_gate_ns_e3" },
+        "qecScheme": { "name": "surface_code" },
+        "errorBudget": 0.001
+    }"#;
+
+    #[test]
+    fn counts_job_round_trip() {
+        let spec = parse_job(COUNTS_JOB).unwrap();
+        assert!(!spec.frontier);
+        let out = run_job(&spec).unwrap();
+        assert_eq!(out.get("status").unwrap().as_str(), Some("success"));
+        assert!(out
+            .get_path("physicalCounts.physicalQubits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0);
+    }
+
+    #[test]
+    fn qir_job() {
+        let job = r#"{
+            "algorithm": { "qir": "call void @__quantum__qis__t__body(%Qubit* null)\ncall void @__quantum__qis__mz__body(%Qubit* null, %Result* null)" },
+            "qubitParams": { "name": "qubit_gate_ns_e4" },
+            "qecScheme": { "name": "surface_code" },
+            "errorBudget": 0.01
+        }"#;
+        let spec = parse_job(job).unwrap();
+        let out = run_job(&spec).unwrap();
+        assert_eq!(
+            out.get_path("preLayoutLogicalResources.tCount")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn multiplication_job() {
+        let job = r#"{
+            "algorithm": { "multiplication": { "algorithm": "windowed", "bits": 128 } },
+            "qubitParams": { "name": "qubit_maj_ns_e4" },
+            "qecScheme": { "name": "floquet_code" },
+            "errorBudget": 1e-4
+        }"#;
+        let spec = parse_job(job).unwrap();
+        let out = run_job(&spec).unwrap();
+        assert!(out.get_path("breakdown.numTstates").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn frontier_job() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 50, "tCount": 100000, "measurementCount": 1000 } },
+            "qubitParams": { "name": "qubit_gate_ns_e3" },
+            "qecScheme": { "name": "surface_code" },
+            "errorBudget": 0.001,
+            "estimateType": "frontier"
+        }"#;
+        let spec = parse_job(job).unwrap();
+        assert!(spec.frontier);
+        let out = run_job(&spec).unwrap();
+        assert_eq!(out.get("estimateType").unwrap().as_str(), Some("frontier"));
+        assert!(!out.get("frontier").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn qubit_overrides() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } },
+            "qubitParams": { "name": "qubit_gate_ns_e3", "tGateError": 0.0002 },
+            "qecScheme": { "name": "surface_code" },
+            "errorBudget": 0.001
+        }"#;
+        let spec = parse_job(job).unwrap();
+        let out = run_job(&spec).unwrap();
+        assert_eq!(
+            out.get_path("physicalQubitParameters.tGateError")
+                .unwrap()
+                .as_f64(),
+            Some(2e-4)
+        );
+    }
+
+    #[test]
+    fn constraints_respected() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 100, "tCount": 50000, "measurementCount": 1000 } },
+            "qubitParams": { "name": "qubit_gate_ns_e3" },
+            "qecScheme": { "name": "surface_code" },
+            "errorBudget": 0.001,
+            "constraints": { "maxTFactories": 2 }
+        }"#;
+        let out = run_job(&parse_job(job).unwrap()).unwrap();
+        assert!(out.get_path("breakdown.numTfactories").unwrap().as_u64().unwrap() <= 2);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let job = r#"{ "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } } }"#;
+        let spec = parse_job(job).unwrap();
+        let out = run_job(&spec).unwrap();
+        assert_eq!(
+            out.get_path("physicalQubitParameters.name")
+                .unwrap()
+                .as_str(),
+            Some("qubit_gate_ns_e3")
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_job("not json").is_err());
+        assert!(parse_job("{}").unwrap_err().contains("algorithm"));
+        let bad_alg = r#"{ "algorithm": { "something": 1 } }"#;
+        assert!(parse_job(bad_alg).unwrap_err().contains("logicalCounts"));
+        let bad_profile = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5 } },
+            "qubitParams": { "name": "qubit_unobtainium" }
+        }"#;
+        assert!(parse_job(bad_profile).unwrap_err().contains("unknown qubit profile"));
+        let bad_scheme = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5 } },
+            "qecScheme": { "name": "wormhole_code" }
+        }"#;
+        assert!(parse_job(bad_scheme).unwrap_err().contains("unknown QEC scheme"));
+        let bad_type = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5 } },
+            "estimateType": "quantum"
+        }"#;
+        assert!(parse_job(bad_type).unwrap_err().contains("estimateType"));
+    }
+
+    #[test]
+    fn batch_submission() {
+        let batch = r#"{ "items": [
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 200 } },
+              "qubitParams": { "name": "qubit_maj_ns_e4" },
+              "qecScheme": { "name": "floquet_code" } }
+        ] }"#;
+        let submission = parse_submission(batch).unwrap();
+        assert!(matches!(submission, Submission::Batch(ref jobs) if jobs.len() == 2));
+        let out = run_submission(&submission).unwrap();
+        let items = out.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        for item in items {
+            assert_eq!(item.get("status").unwrap().as_str(), Some("success"));
+        }
+        // Distinct profiles flowed through.
+        assert_eq!(
+            items[1]
+                .get_path("physicalQubitParameters.name")
+                .unwrap()
+                .as_str(),
+            Some("qubit_maj_ns_e4")
+        );
+    }
+
+    #[test]
+    fn batch_reports_per_item_errors() {
+        // The second item is infeasible (error budget unreachable on that
+        // hardware); the batch still succeeds with an in-place error.
+        let batch = r#"{ "items": [
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } },
+              "errorBudget": 1e-60 }
+        ] }"#;
+        let submission = parse_submission(batch).unwrap();
+        let out = run_submission(&submission).unwrap();
+        let items = out.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items[0].get("status").unwrap().as_str(), Some("success"));
+        assert_eq!(items[1].get("status").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn batch_rejects_malformed_items() {
+        assert!(parse_submission(r#"{ "items": [] }"#).is_err());
+        assert!(parse_submission(r#"{ "items": 5 }"#).is_err());
+        let err = parse_submission(r#"{ "items": [ { "nope": 1 } ] }"#).unwrap_err();
+        assert!(err.contains("items[0]"), "{err}");
+    }
+
+    #[test]
+    fn single_submission_passthrough() {
+        let submission = parse_submission(COUNTS_JOB).unwrap();
+        assert!(matches!(submission, Submission::Single(_)));
+        let out = run_submission(&submission).unwrap();
+        assert!(out.get("physicalCounts").is_some());
+    }
+
+    #[test]
+    fn report_mode() {
+        let spec = parse_job(COUNTS_JOB).unwrap();
+        let report = run_job_report(&spec).unwrap();
+        assert!(report.contains("Physical resource estimates"));
+    }
+}

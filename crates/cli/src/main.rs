@@ -1,0 +1,106 @@
+//! `qre` — command-line resource estimation.
+//!
+//! ```text
+//! qre <job.json>            estimate a job file, JSON to stdout
+//! qre -                     read the job from stdin
+//! qre --report <job.json>   human-readable report instead of JSON
+//! qre --compact <job.json>  single-line JSON
+//! qre --help                usage
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "qre — quantum resource estimator (local job runner)\n\
+     \n\
+     USAGE:\n\
+     \x20 qre [--report | --compact] <job.json | ->\n\
+     \n\
+     The job file is a JSON specification; see the qre-cli crate docs for the\n\
+     schema. `-` reads the job from stdin. Output is pretty-printed JSON by\n\
+     default, `--compact` emits one line, `--report` renders a text report.\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report = false;
+    let mut compact = false;
+    let mut input: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--report" => report = true,
+            "--compact" => compact = true,
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("missing job file\n\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let text = if input == "-" {
+        let mut buffer = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buffer) {
+            eprintln!("failed to read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buffer
+    } else {
+        match std::fs::read_to_string(&input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let submission = match qre_cli::parse_submission(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid job: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if report {
+        let specs: Vec<&qre_cli::JobSpec> = match &submission {
+            qre_cli::Submission::Single(spec) => vec![spec],
+            qre_cli::Submission::Batch(jobs) => jobs.iter().collect(),
+        };
+        for spec in specs {
+            match qre_cli::run_job_report(spec) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("estimation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ExitCode::SUCCESS
+    } else {
+        match qre_cli::run_submission(&submission) {
+            Ok(value) => {
+                if compact {
+                    println!("{}", value.to_string_compact());
+                } else {
+                    println!("{}", value.to_string_pretty());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("estimation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

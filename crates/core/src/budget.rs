@@ -1,0 +1,122 @@
+//! Error-budget partitioning (paper Section IV-C.3).
+//!
+//! The total error budget ε — the acceptable probability that the whole
+//! computation fails — is split three ways:
+//!
+//! * ε_log: budget for logical (QEC) errors across all qubits and cycles,
+//! * ε_dis: budget for faulty distilled T states,
+//! * ε_syn: budget for imperfect synthesis of arbitrary rotations.
+//!
+//! The default partition is even thirds; each part can also be specified
+//! explicitly (the tool's `errorBudget` object form).
+
+use crate::error::{Error, Result};
+use qre_json::{ObjectBuilder, Value};
+
+/// A partitioned error budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Budget for logical errors (ε_log).
+    pub logical: f64,
+    /// Budget for T-state distillation errors (ε_dis).
+    pub t_states: f64,
+    /// Budget for rotation-synthesis errors (ε_syn).
+    pub rotations: f64,
+}
+
+impl ErrorBudget {
+    /// Even three-way split of a total budget (the tool's default).
+    pub fn from_total(total: f64) -> Result<Self> {
+        validate_part("errorBudget", total)?;
+        Ok(ErrorBudget {
+            logical: total / 3.0,
+            t_states: total / 3.0,
+            rotations: total / 3.0,
+        })
+    }
+
+    /// Explicit per-part budgets.
+    pub fn from_parts(logical: f64, t_states: f64, rotations: f64) -> Result<Self> {
+        validate_part("logical budget", logical)?;
+        // T-state and rotation parts may be zero for programs without the
+        // corresponding operations, but must not be negative.
+        for (name, v) in [("tStates budget", t_states), ("rotations budget", rotations)] {
+            if !(v.is_finite() && (0.0..1.0).contains(&v)) {
+                return Err(Error::InvalidInput(format!(
+                    "{name} must lie in [0, 1), got {v}"
+                )));
+            }
+        }
+        Ok(ErrorBudget {
+            logical,
+            t_states,
+            rotations,
+        })
+    }
+
+    /// The combined budget.
+    pub fn total(&self) -> f64 {
+        self.logical + self.t_states + self.rotations
+    }
+
+    /// Render as the `errorBudget` output group (Section IV-D.6).
+    pub fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("total", self.total())
+            .field("logical", self.logical)
+            .field("tStates", self.t_states)
+            .field("rotations", self.rotations)
+            .build()
+    }
+}
+
+fn validate_part(name: &str, v: f64) -> Result<()> {
+    if !(v.is_finite() && v > 0.0 && v < 1.0) {
+        return Err(Error::InvalidInput(format!(
+            "{name} must lie strictly between 0 and 1, got {v}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let b = ErrorBudget::from_total(1e-3).unwrap();
+        assert!((b.logical - 1e-3 / 3.0).abs() < 1e-18);
+        assert_eq!(b.logical, b.t_states);
+        assert_eq!(b.t_states, b.rotations);
+        assert!((b.total() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_parts() {
+        let b = ErrorBudget::from_parts(1e-4, 2e-4, 0.0).unwrap();
+        assert_eq!(b.logical, 1e-4);
+        assert_eq!(b.t_states, 2e-4);
+        assert_eq!(b.rotations, 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(ErrorBudget::from_total(0.0).is_err());
+        assert!(ErrorBudget::from_total(1.0).is_err());
+        assert!(ErrorBudget::from_total(-0.1).is_err());
+        assert!(ErrorBudget::from_total(f64::NAN).is_err());
+        assert!(ErrorBudget::from_parts(0.0, 1e-4, 1e-4).is_err());
+        assert!(ErrorBudget::from_parts(1e-4, -1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn json_shape() {
+        let b = ErrorBudget::from_total(1e-4).unwrap();
+        let v = b.to_json();
+        assert!((v.get("total").unwrap().as_f64().unwrap() - 1e-4).abs() < 1e-15);
+        assert!(v.get("logical").is_some());
+        assert!(v.get("tStates").is_some());
+        assert!(v.get("rotations").is_some());
+    }
+}

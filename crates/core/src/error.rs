@@ -1,0 +1,88 @@
+//! Error type for the estimation pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the resource estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An input failed validation (message describes the field).
+    InvalidInput(String),
+    /// The physical error rate is at or above the QEC scheme's threshold, so
+    /// no code distance can reach the required logical error rate.
+    AboveThreshold {
+        /// The offending physical error rate.
+        physical_error_rate: f64,
+        /// The scheme's threshold.
+        threshold: f64,
+    },
+    /// No code distance up to the scheme's maximum achieves the required
+    /// logical error rate.
+    NoCodeDistance {
+        /// The logical error rate that was required per qubit-cycle.
+        required: f64,
+        /// The best achievable rate at the maximum distance.
+        best_achievable: f64,
+    },
+    /// The T-factory search found no pipeline meeting the output error.
+    NoTFactory {
+        /// The required T-state error rate.
+        required: f64,
+    },
+    /// A user-supplied constraint cannot be met.
+    ConstraintViolated(String),
+    /// The constraint-resolution loop failed to converge.
+    NoConvergence,
+    /// A formula string failed to parse.
+    Formula(String),
+    /// A formula failed to evaluate.
+    Evaluation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::AboveThreshold {
+                physical_error_rate,
+                threshold,
+            } => write!(
+                f,
+                "physical error rate {physical_error_rate} is not below the QEC threshold {threshold}"
+            ),
+            Error::NoCodeDistance {
+                required,
+                best_achievable,
+            } => write!(
+                f,
+                "no code distance reaches the required logical error rate {required:.3e} (best achievable {best_achievable:.3e})"
+            ),
+            Error::NoTFactory { required } => write!(
+                f,
+                "no T-factory pipeline reaches the required T-state error rate {required:.3e}"
+            ),
+            Error::ConstraintViolated(msg) => write!(f, "constraint violated: {msg}"),
+            Error::NoConvergence => {
+                f.write_str("constraint resolution did not converge; relax the constraints")
+            }
+            Error::Formula(msg) => write!(f, "formula parse error: {msg}"),
+            Error::Evaluation(msg) => write!(f, "formula evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<qre_expr::ParseError> for Error {
+    fn from(e: qre_expr::ParseError) -> Self {
+        Error::Formula(e.to_string())
+    }
+}
+
+impl From<qre_expr::EvalError> for Error {
+    fn from(e: qre_expr::EvalError) -> Self {
+        Error::Evaluation(e.to_string())
+    }
+}
+
+/// Estimator result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,164 @@
+//! Qubit/runtime trade-off frontier estimation.
+//!
+//! Beyond the single default estimate, the tool can explore the trade-off
+//! the paper's Section IV-C.4 describes: slowing the computation down lets
+//! fewer T-factory copies feed the same T-state demand, shrinking the qubit
+//! footprint at the cost of runtime. [`estimate_frontier`] sweeps the
+//! factory-copy cap from the unconstrained optimum down to one copy and
+//! returns the Pareto-optimal (physical qubits, runtime) points.
+//!
+//! The sweep's estimates are independent, so they run in parallel via
+//! `qre-par`.
+
+use crate::error::Result;
+use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::result::EstimationResult;
+
+/// One point on the qubit/runtime frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// The factory-copy cap that produced this point.
+    pub max_t_factories: u64,
+    /// The full estimate at that cap.
+    pub result: EstimationResult,
+}
+
+/// Explore the qubit/runtime frontier.
+///
+/// Returns points sorted by descending physical qubits (i.e. ascending
+/// runtime), reduced to the Pareto frontier. For T-free programs the result
+/// is the single unconstrained estimate.
+pub fn estimate_frontier(
+    estimation: &PhysicalResourceEstimation,
+) -> Result<Vec<FrontierPoint>> {
+    let base = estimation.estimate()?;
+    let max_factories = base.breakdown.num_t_factories;
+    if max_factories <= 1 {
+        return Ok(vec![FrontierPoint {
+            max_t_factories: max_factories,
+            result: base,
+        }]);
+    }
+
+    // Sweep caps: all values when small, geometrically thinned when large.
+    let mut caps: Vec<u64> = Vec::new();
+    let mut f = 1u64;
+    while f < max_factories {
+        caps.push(f);
+        f = if max_factories <= 32 {
+            f + 1
+        } else {
+            (f * 5 / 4).max(f + 1)
+        };
+    }
+    caps.push(max_factories);
+
+    let sweeps = qre_par::parallel_map(&caps, |&cap| {
+        let capped = PhysicalResourceEstimation {
+            constraints: Constraints {
+                max_t_factories: Some(cap),
+                ..estimation.constraints
+            },
+            ..estimation.clone()
+        };
+        capped.estimate().ok().map(|result| FrontierPoint {
+            max_t_factories: cap,
+            result,
+        })
+    });
+
+    let mut points: Vec<FrontierPoint> = sweeps.into_iter().flatten().collect();
+    // Sort by descending qubits, then keep strictly improving runtimes.
+    points.sort_by(|a, b| {
+        b.result
+            .physical_counts
+            .physical_qubits
+            .cmp(&a.result.physical_counts.physical_qubits)
+    });
+    let mut frontier: Vec<FrontierPoint> = Vec::new();
+    let mut best_runtime = f64::INFINITY;
+    // Walk from fewest qubits (end) to most qubits, keeping points that
+    // strictly improve runtime; then restore descending-qubits order.
+    for p in points.into_iter().rev() {
+        if p.result.physical_counts.runtime_ns < best_runtime {
+            best_runtime = p.result.physical_counts.runtime_ns;
+            frontier.push(p);
+        }
+    }
+    frontier.reverse();
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ErrorBudget;
+    use crate::physical_qubit::PhysicalQubit;
+    use crate::qec::QecScheme;
+    use crate::tfactory::TFactoryBuilder;
+    use qre_circuit::LogicalCounts;
+
+    fn estimation() -> PhysicalResourceEstimation {
+        PhysicalResourceEstimation {
+            counts: LogicalCounts {
+                num_qubits: 100,
+                t_count: 50_000,
+                ccz_count: 20_000,
+                measurement_count: 50_000,
+                ..Default::default()
+            },
+            qubit: PhysicalQubit::qubit_gate_ns_e3(),
+            scheme: QecScheme::surface_code_gate_based(),
+            budget: ErrorBudget::from_total(1e-3).unwrap(),
+            constraints: Constraints::default(),
+            factory_builder: TFactoryBuilder::default(),
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let frontier = estimate_frontier(&estimation()).unwrap();
+        assert!(frontier.len() >= 2, "expected a real trade-off curve");
+        for w in frontier.windows(2) {
+            let (a, b) = (&w[0].result.physical_counts, &w[1].result.physical_counts);
+            assert!(
+                a.physical_qubits > b.physical_qubits,
+                "qubits must strictly decrease along the frontier"
+            );
+            assert!(
+                a.runtime_ns < b.runtime_ns,
+                "runtime must strictly increase along the frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_ends_at_single_factory() {
+        let frontier = estimate_frontier(&estimation()).unwrap();
+        let last = frontier.last().unwrap();
+        assert_eq!(last.result.breakdown.num_t_factories, 1);
+    }
+
+    #[test]
+    fn frontier_contains_unconstrained_point() {
+        let base = estimation().estimate().unwrap();
+        let frontier = estimate_frontier(&estimation()).unwrap();
+        let first = &frontier[0].result;
+        assert_eq!(
+            first.physical_counts.runtime_ns,
+            base.physical_counts.runtime_ns
+        );
+    }
+
+    #[test]
+    fn t_free_program_has_singleton_frontier() {
+        let mut est = estimation();
+        est.counts = LogicalCounts {
+            num_qubits: 10,
+            measurement_count: 100,
+            ..Default::default()
+        };
+        let frontier = estimate_frontier(&est).unwrap();
+        assert_eq!(frontier.len(), 1);
+    }
+}

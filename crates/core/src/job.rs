@@ -1,0 +1,328 @@
+//! The user-facing job API: assemble inputs, estimate, and explore.
+//!
+//! Mirrors the structure of the service's job submission (paper Section
+//! IV-A): an algorithm (as logical counts), a hardware profile, a QEC
+//! scheme, an error budget, and optional constraints.
+//!
+//! ```
+//! use qre_core::{EstimationJob, HardwareProfile, QecSchemeKind};
+//! use qre_circuit::LogicalCounts;
+//!
+//! let counts = LogicalCounts::builder()
+//!     .logical_qubits(50)
+//!     .t_gates(10_000)
+//!     .measurements(5_000)
+//!     .build();
+//! let job = EstimationJob::builder()
+//!     .counts(counts)
+//!     .profile(HardwareProfile::qubit_gate_ns_e3())
+//!     .qec(QecSchemeKind::SurfaceCode)
+//!     .total_error_budget(1e-3)
+//!     .build()
+//!     .unwrap();
+//! let result = job.estimate().unwrap();
+//! assert!(result.physical_counts.physical_qubits > 0);
+//! ```
+
+use crate::budget::ErrorBudget;
+use crate::error::{Error, Result};
+use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::frontier::{estimate_frontier, FrontierPoint};
+use crate::physical_qubit::PhysicalQubit;
+use crate::qec::{QecScheme, QecSchemeKind};
+use crate::result::EstimationResult;
+use crate::tfactory::{DistillationUnit, TFactoryBuilder};
+use qre_circuit::LogicalCounts;
+
+/// A fully assembled estimation job.
+#[derive(Debug, Clone)]
+pub struct EstimationJob {
+    inner: PhysicalResourceEstimation,
+}
+
+impl EstimationJob {
+    /// Start building a job.
+    pub fn builder() -> EstimationJobBuilder {
+        EstimationJobBuilder::default()
+    }
+
+    /// Run the estimation flow (Section III).
+    pub fn estimate(&self) -> Result<EstimationResult> {
+        self.inner.estimate()
+    }
+
+    /// Explore the qubit/runtime frontier (Section IV-C.4 trade-offs).
+    pub fn estimate_frontier(&self) -> Result<Vec<FrontierPoint>> {
+        estimate_frontier(&self.inner)
+    }
+
+    /// The underlying estimation task (for advanced tweaking).
+    pub fn as_estimation(&self) -> &PhysicalResourceEstimation {
+        &self.inner
+    }
+}
+
+/// QEC selection: a built-in kind or a fully custom scheme.
+#[derive(Debug, Clone)]
+enum QecChoice {
+    Kind(QecSchemeKind),
+    Custom(QecScheme),
+}
+
+/// Budget selection: total (split in thirds) or explicit parts.
+#[derive(Debug, Clone, Copy)]
+enum BudgetChoice {
+    Total(f64),
+    Parts { logical: f64, t_states: f64, rotations: f64 },
+}
+
+/// Builder for [`EstimationJob`].
+#[derive(Debug, Clone, Default)]
+pub struct EstimationJobBuilder {
+    counts: Option<LogicalCounts>,
+    profile: Option<PhysicalQubit>,
+    qec: Option<QecChoice>,
+    budget: Option<BudgetChoice>,
+    constraints: Constraints,
+    distillation_units: Option<Vec<DistillationUnit>>,
+    max_factory_rounds: Option<usize>,
+}
+
+impl EstimationJobBuilder {
+    /// The algorithm, as pre-layout logical counts (Section IV-B.3; counts
+    /// from the circuit tracer or QIR front end plug in here too).
+    pub fn counts(mut self, counts: LogicalCounts) -> Self {
+        self.counts = Some(counts);
+        self
+    }
+
+    /// The hardware profile (Section IV-C.1).
+    pub fn profile(mut self, profile: PhysicalQubit) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// A built-in QEC scheme, resolved against the profile's instruction set.
+    pub fn qec(mut self, kind: QecSchemeKind) -> Self {
+        self.qec = Some(QecChoice::Kind(kind));
+        self
+    }
+
+    /// A fully custom QEC scheme (Section IV-C.2).
+    pub fn qec_custom(mut self, scheme: QecScheme) -> Self {
+        self.qec = Some(QecChoice::Custom(scheme));
+        self
+    }
+
+    /// Total error budget, split evenly across logical / T states /
+    /// rotations (Section IV-C.3).
+    pub fn total_error_budget(mut self, total: f64) -> Self {
+        self.budget = Some(BudgetChoice::Total(total));
+        self
+    }
+
+    /// Explicit per-part error budgets.
+    pub fn error_budget_parts(mut self, logical: f64, t_states: f64, rotations: f64) -> Self {
+        self.budget = Some(BudgetChoice::Parts {
+            logical,
+            t_states,
+            rotations,
+        });
+        self
+    }
+
+    /// Logical-cycle slowdown factor (≥ 1; Section IV-C.4).
+    pub fn logical_depth_factor(mut self, factor: f64) -> Self {
+        self.constraints.logical_depth_factor = Some(factor);
+        self
+    }
+
+    /// Cap on parallel T-factory copies (Section IV-C.4).
+    pub fn max_t_factories(mut self, max: u64) -> Self {
+        self.constraints.max_t_factories = Some(max);
+        self
+    }
+
+    /// Cap on total runtime in nanoseconds.
+    pub fn max_duration_ns(mut self, max: f64) -> Self {
+        self.constraints.max_duration_ns = Some(max);
+        self
+    }
+
+    /// Cap on total physical qubits.
+    pub fn max_physical_qubits(mut self, max: u64) -> Self {
+        self.constraints.max_physical_qubits = Some(max);
+        self
+    }
+
+    /// Replace the distillation unit set (Section IV-C.5).
+    pub fn distillation_units(mut self, units: Vec<DistillationUnit>) -> Self {
+        self.distillation_units = Some(units);
+        self
+    }
+
+    /// Cap the number of distillation rounds.
+    pub fn max_factory_rounds(mut self, rounds: usize) -> Self {
+        self.max_factory_rounds = Some(rounds);
+        self
+    }
+
+    /// Validate and assemble the job.
+    pub fn build(self) -> Result<EstimationJob> {
+        let counts = self
+            .counts
+            .ok_or_else(|| Error::InvalidInput("missing algorithm counts".into()))?;
+        let qubit = self
+            .profile
+            .ok_or_else(|| Error::InvalidInput("missing hardware profile".into()))?;
+        qubit.validate()?;
+        let scheme = match self
+            .qec
+            .ok_or_else(|| Error::InvalidInput("missing QEC scheme".into()))?
+        {
+            QecChoice::Kind(kind) => QecScheme::resolve(kind, &qubit)?,
+            QecChoice::Custom(scheme) => scheme,
+        };
+        let budget = match self
+            .budget
+            .ok_or_else(|| Error::InvalidInput("missing error budget".into()))?
+        {
+            BudgetChoice::Total(total) => ErrorBudget::from_total(total)?,
+            BudgetChoice::Parts {
+                logical,
+                t_states,
+                rotations,
+            } => ErrorBudget::from_parts(logical, t_states, rotations)?,
+        };
+        let mut factory_builder = TFactoryBuilder {
+            units: self
+                .distillation_units
+                .unwrap_or_else(crate::tfactory::default_distillation_units),
+            ..TFactoryBuilder::default()
+        };
+        if let Some(rounds) = self.max_factory_rounds {
+            if rounds == 0 {
+                return Err(Error::InvalidInput(
+                    "maxFactoryRounds must be at least 1".into(),
+                ));
+            }
+            factory_builder.max_rounds = rounds;
+        }
+        Ok(EstimationJob {
+            inner: PhysicalResourceEstimation {
+                counts,
+                qubit,
+                scheme,
+                budget,
+                constraints: self.constraints,
+                factory_builder,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> LogicalCounts {
+        LogicalCounts {
+            num_qubits: 64,
+            t_count: 5_000,
+            ccz_count: 1_000,
+            measurement_count: 2_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builder_requires_all_mandatory_fields() {
+        assert!(EstimationJob::builder().build().is_err());
+        assert!(EstimationJob::builder().counts(counts()).build().is_err());
+        assert!(EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .build()
+            .is_err());
+        assert!(EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .build()
+            .is_err());
+        assert!(EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .total_error_budget(1e-3)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn floquet_on_gate_based_rejected_at_build() {
+        let err = EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::FloquetCode)
+            .total_error_budget(1e-3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+    }
+
+    #[test]
+    fn end_to_end_with_constraints() {
+        let job = EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_maj_ns_e4())
+            .qec(QecSchemeKind::FloquetCode)
+            .total_error_budget(1e-4)
+            .max_t_factories(2)
+            .build()
+            .unwrap();
+        let r = job.estimate().unwrap();
+        assert!(r.breakdown.num_t_factories <= 2);
+        assert!(r.physical_counts.rqops > 0.0);
+    }
+
+    #[test]
+    fn frontier_through_job_api() {
+        let job = EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .total_error_budget(1e-3)
+            .build()
+            .unwrap();
+        let frontier = job.estimate_frontier().unwrap();
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn custom_scheme_through_job_api() {
+        let job = EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec_custom(QecScheme::surface_code_gate_based())
+            .error_budget_parts(1e-4, 1e-4, 0.0)
+            .build()
+            .unwrap();
+        let r = job.estimate().unwrap();
+        assert_eq!(r.qec_scheme.name, "surface_code");
+        assert_eq!(r.error_budget.rotations, 0.0);
+    }
+
+    #[test]
+    fn invalid_factory_rounds_rejected() {
+        let err = EstimationJob::builder()
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .total_error_budget(1e-3)
+            .max_factory_rounds(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidInput(_)));
+    }
+}

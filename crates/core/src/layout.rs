@@ -1,0 +1,177 @@
+//! Algorithmic logical estimation: the post-layout step (paper Section III-B).
+//!
+//! Converts pre-layout [`LogicalCounts`] into the planar-ISA quantities the
+//! physical stages consume:
+//!
+//! * **post-layout logical qubits** — 2D nearest-neighbour layout with
+//!   alternating rows of algorithm and ancilla qubits:
+//!   `Q_alg = 2·Q + ⌈√(8·Q)⌉ + 1` (III-B.1),
+//! * **algorithmic logical depth** — multi-qubit-measurement count:
+//!   `C = (M_meas + M_R + M_T) + 3·(M_CCZ + M_CCiX) + t_rot·D_R` (III-B.3),
+//! * **T-state demand** — `T = M_T + 4·(M_CCZ + M_CCiX) + t_rot·M_R`
+//!   (III-B.4), with `t_rot = ⌈0.53·log₂(M_R/ε_syn) + 5.3⌉` T states per
+//!   arbitrary rotation (Ross–Selinger-style synthesis, constants per the
+//!   paper's normative reference).
+
+use crate::error::{Error, Result};
+use qre_circuit::LogicalCounts;
+
+/// The synthesis cost model `t_rot = ⌈A·log₂(M_R/ε) + B⌉`.
+const SYNTHESIS_A: f64 = 0.53;
+const SYNTHESIS_B: f64 = 5.3;
+
+/// Post-layout logical quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalLayout {
+    /// Post-layout logical qubits `Q_alg`.
+    pub logical_qubits: u64,
+    /// Algorithmic logical depth `C` (logical cycles, before any stretching).
+    pub algorithmic_depth: u64,
+    /// Total T states required.
+    pub t_states: u64,
+    /// T states per arbitrary rotation (0 when the program has none).
+    pub t_states_per_rotation: u64,
+}
+
+/// Post-layout logical qubit count: `2·Q + ⌈√(8·Q)⌉ + 1`.
+pub fn post_layout_logical_qubits(pre_layout_qubits: u64) -> u64 {
+    let q = pre_layout_qubits;
+    2 * q + (8.0 * q as f64).sqrt().ceil() as u64 + 1
+}
+
+/// T states per rotation for `num_rotations` rotations sharing a synthesis
+/// budget `eps_syn`.
+pub fn t_states_per_rotation(num_rotations: u64, eps_syn: f64) -> Result<u64> {
+    if num_rotations == 0 {
+        return Ok(0);
+    }
+    if !(eps_syn.is_finite() && eps_syn > 0.0) {
+        return Err(Error::InvalidInput(format!(
+            "rotation synthesis budget must be positive when rotations are present, got {eps_syn}"
+        )));
+    }
+    let per = (SYNTHESIS_A * (num_rotations as f64 / eps_syn).log2() + SYNTHESIS_B).ceil();
+    if per < 0.0 || !per.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "synthesis formula produced invalid T count {per}"
+        )));
+    }
+    Ok(per as u64)
+}
+
+/// Apply the layout step to pre-layout counts.
+pub fn layout(counts: &LogicalCounts, eps_syn: f64) -> Result<LogicalLayout> {
+    if counts.num_qubits == 0 {
+        return Err(Error::InvalidInput(
+            "algorithm uses no logical qubits".into(),
+        ));
+    }
+    if counts.rotation_count > 0 && counts.rotation_depth == 0 {
+        return Err(Error::InvalidInput(
+            "rotation depth must be positive when rotations are present".into(),
+        ));
+    }
+    let t_rot = t_states_per_rotation(counts.rotation_count, eps_syn)?;
+    let toffoli = counts.toffoli_like();
+    let algorithmic_depth = counts.measurement_count
+        + counts.rotation_count
+        + counts.t_count
+        + 3 * toffoli
+        + t_rot * counts.rotation_depth;
+    let t_states = counts.t_count + 4 * toffoli + t_rot * counts.rotation_count;
+    Ok(LogicalLayout {
+        logical_qubits: post_layout_logical_qubits(counts.num_qubits),
+        algorithmic_depth,
+        t_states,
+        t_states_per_rotation: t_rot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qre_circuit::LogicalCounts;
+
+    #[test]
+    fn layout_qubit_formula() {
+        // 2Q + ceil(sqrt(8Q)) + 1.
+        assert_eq!(post_layout_logical_qubits(1), 2 + 3 + 1);
+        assert_eq!(post_layout_logical_qubits(100), 200 + 29 + 1);
+        // The paper's windowed-2048 case: ≈10,155 pre-layout → ≈20,596.
+        let q = post_layout_logical_qubits(10_155);
+        assert_eq!(q, 2 * 10_155 + 286 + 1);
+    }
+
+    #[test]
+    fn synthesis_t_count() {
+        // 1000 rotations at eps 1e-3/3: log2(3e6) ≈ 21.52 → 0.53·21.52+5.3 =
+        // 16.7 → 17.
+        let t = t_states_per_rotation(1000, 1e-3 / 3.0).unwrap();
+        assert_eq!(t, 17);
+        // No rotations → no synthesis cost, regardless of budget.
+        assert_eq!(t_states_per_rotation(0, 0.0).unwrap(), 0);
+        // Rotations but zero budget → error.
+        assert!(t_states_per_rotation(5, 0.0).is_err());
+    }
+
+    #[test]
+    fn synthesis_monotone() {
+        // Tighter budgets and more rotations need more T states per rotation.
+        let base = t_states_per_rotation(100, 1e-3).unwrap();
+        assert!(t_states_per_rotation(100, 1e-6).unwrap() > base);
+        assert!(t_states_per_rotation(100_000, 1e-3).unwrap() > base);
+    }
+
+    #[test]
+    fn depth_and_t_states_formulas() {
+        let counts = LogicalCounts {
+            num_qubits: 10,
+            t_count: 7,
+            rotation_count: 4,
+            rotation_depth: 2,
+            ccz_count: 5,
+            ccix_count: 3,
+            measurement_count: 11,
+        };
+        let eps = 1e-4;
+        let lay = layout(&counts, eps).unwrap();
+        let t_rot = t_states_per_rotation(4, eps).unwrap();
+        // C = meas + rot + T + 3·Tof + t_rot·D_R.
+        assert_eq!(
+            lay.algorithmic_depth,
+            11 + 4 + 7 + 3 * 8 + t_rot * 2
+        );
+        // T = M_T + 4·Tof + t_rot·M_R.
+        assert_eq!(lay.t_states, 7 + 4 * 8 + t_rot * 4);
+        assert_eq!(lay.logical_qubits, post_layout_logical_qubits(10));
+    }
+
+    #[test]
+    fn rotation_free_program() {
+        let counts = LogicalCounts {
+            num_qubits: 4,
+            t_count: 100,
+            ccz_count: 50,
+            measurement_count: 20,
+            ..Default::default()
+        };
+        // Synthesis budget irrelevant without rotations.
+        let lay = layout(&counts, 0.0).unwrap();
+        assert_eq!(lay.t_states_per_rotation, 0);
+        assert_eq!(lay.algorithmic_depth, 20 + 100 + 3 * 50);
+        assert_eq!(lay.t_states, 100 + 4 * 50);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let counts = LogicalCounts::default();
+        assert!(layout(&counts, 1e-3).is_err()); // zero qubits
+        let counts = LogicalCounts {
+            num_qubits: 1,
+            rotation_count: 3,
+            rotation_depth: 0,
+            ..Default::default()
+        };
+        assert!(layout(&counts, 1e-3).is_err()); // inconsistent rotations
+    }
+}

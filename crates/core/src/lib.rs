@@ -1,0 +1,60 @@
+//! # qre-core
+//!
+//! Physical resource estimation for fault-tolerant quantum computation — the
+//! primary contribution of *"Using Azure Quantum Resource Estimator for
+//! Assessing Performance of Fault Tolerant Quantum Computation"* (SC 2023),
+//! re-implemented from scratch.
+//!
+//! The pipeline (paper Section III):
+//!
+//! 1. **Pre-layout counts** arrive as [`qre_circuit::LogicalCounts`] (from
+//!    the circuit tracer, the QIR front end, or direct user input).
+//! 2. **Layout** ([`layout`]): planar-ISA qubit overhead, algorithmic depth,
+//!    and T-state demand (Section III-B).
+//! 3. **Error correction** ([`QecScheme`]): code-distance selection from the
+//!    failure model `a·(p/p*)^((d+1)/2)` (Section III-C).
+//! 4. **T factories** ([`TFactoryBuilder`]): distillation pipeline search
+//!    and copy provisioning (Section III-D).
+//! 5. **Totals and rQOPS** ([`EstimationResult`]): physical qubits, runtime,
+//!    and reliable quantum operations per second (Section III-E).
+//!
+//! The friendly entry point is [`EstimationJob`]; power users drive
+//! [`PhysicalResourceEstimation`] directly. Trade-off exploration lives in
+//! [`estimate_frontier`].
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod budget;
+mod error;
+mod estimate;
+mod frontier;
+mod job;
+mod layout;
+mod physical_qubit;
+mod qec;
+mod result;
+mod tfactory;
+
+pub use budget::ErrorBudget;
+pub use error::{Error, Result};
+pub use estimate::{Constraints, PhysicalResourceEstimation};
+pub use frontier::{estimate_frontier, FrontierPoint};
+pub use job::{EstimationJob, EstimationJobBuilder};
+pub use layout::{layout, post_layout_logical_qubits, t_states_per_rotation, LogicalLayout};
+pub use physical_qubit::{InstructionSet, PhysicalQubit};
+pub use qec::{LogicalQubit, QecScheme, QecSchemeKind};
+pub use result::{
+    format_duration_ns, format_sci, group_digits, EstimationResult, PhysicalCounts,
+    ResourceBreakdown,
+};
+pub use tfactory::{
+    default_distillation_units, DistillationUnit, FactoryRound, LogicalUnitSpec,
+    PhysicalUnitSpec, RoundLevel, TFactory, TFactoryBuilder,
+};
+
+/// Convenience alias: a hardware profile *is* a physical qubit model.
+pub type HardwareProfile = PhysicalQubit;
+
+#[cfg(test)]
+mod proptests;

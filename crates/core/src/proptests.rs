@@ -1,0 +1,181 @@
+//! Property-based tests for the estimation pipeline's invariants.
+
+use crate::budget::ErrorBudget;
+use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::physical_qubit::PhysicalQubit;
+use crate::qec::{QecScheme, QecSchemeKind};
+use crate::tfactory::TFactoryBuilder;
+use proptest::prelude::*;
+use qre_circuit::LogicalCounts;
+
+fn arb_counts() -> impl Strategy<Value = LogicalCounts> {
+    (
+        1u64..5_000,
+        0u64..200_000,
+        0u64..500,
+        0u64..50_000,
+        0u64..50_000,
+        0u64..200_000,
+    )
+        .prop_map(|(q, t, r, ccz, ccix, m)| LogicalCounts {
+            num_qubits: q,
+            t_count: t,
+            rotation_count: r,
+            rotation_depth: r.min(64),
+            ccz_count: ccz,
+            ccix_count: ccix,
+            measurement_count: m,
+        })
+}
+
+fn arb_profile() -> impl Strategy<Value = (PhysicalQubit, QecSchemeKind)> {
+    prop_oneof![
+        Just((PhysicalQubit::qubit_gate_ns_e3(), QecSchemeKind::SurfaceCode)),
+        Just((PhysicalQubit::qubit_gate_ns_e4(), QecSchemeKind::SurfaceCode)),
+        Just((PhysicalQubit::qubit_gate_us_e3(), QecSchemeKind::SurfaceCode)),
+        Just((PhysicalQubit::qubit_gate_us_e4(), QecSchemeKind::SurfaceCode)),
+        Just((PhysicalQubit::qubit_maj_ns_e4(), QecSchemeKind::FloquetCode)),
+        Just((PhysicalQubit::qubit_maj_ns_e6(), QecSchemeKind::FloquetCode)),
+    ]
+}
+
+fn make(
+    counts: LogicalCounts,
+    profile: (PhysicalQubit, QecSchemeKind),
+    budget: f64,
+) -> PhysicalResourceEstimation {
+    let scheme = QecScheme::resolve(profile.1, &profile.0).unwrap();
+    PhysicalResourceEstimation {
+        counts,
+        qubit: profile.0,
+        scheme,
+        budget: ErrorBudget::from_total(budget).unwrap(),
+        constraints: Constraints::default(),
+        factory_builder: TFactoryBuilder::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants that every successful estimate obeys.
+    #[test]
+    fn estimate_invariants(
+        counts in arb_counts(),
+        profile in arb_profile(),
+        budget_exp in 2u32..8,
+    ) {
+        let est = make(counts, profile, 10f64.powi(-(budget_exp as i32)));
+        let Ok(r) = est.estimate() else {
+            return Ok(()); // infeasible points are allowed to error
+        };
+        let b = &r.breakdown;
+        // Totals add up.
+        prop_assert_eq!(
+            r.physical_counts.physical_qubits,
+            b.physical_qubits_for_algorithm + b.physical_qubits_for_t_factories
+        );
+        // Algorithm footprint is logical qubits × code footprint.
+        prop_assert_eq!(
+            b.physical_qubits_for_algorithm,
+            b.algorithmic_logical_qubits * r.logical_qubit.physical_qubits
+        );
+        // Odd distance within scheme limits.
+        prop_assert!(r.logical_qubit.code_distance % 2 == 1);
+        prop_assert!(r.logical_qubit.code_distance <= r.qec_scheme.max_code_distance);
+        // The achieved logical error rate meets the requirement.
+        prop_assert!(r.logical_qubit.logical_error_rate <= b.required_logical_error_rate);
+        // Runtime consistency.
+        let runtime = b.num_cycles as f64 * r.logical_qubit.cycle_time_ns;
+        prop_assert!((r.physical_counts.runtime_ns - runtime).abs() <= 1.0);
+        // Total logical failure within the logical budget.
+        let total_logical_risk = r.logical_qubit.logical_error_rate
+            * b.algorithmic_logical_qubits as f64
+            * b.num_cycles as f64;
+        prop_assert!(total_logical_risk <= r.error_budget.logical * (1.0 + 1e-9));
+        // Factory output meets the T-state requirement.
+        if let Some(f) = &r.t_factory {
+            prop_assert!(f.output_error_rate <= b.required_t_state_error_rate.unwrap());
+            // Enough factory runs fit in the runtime.
+            let runs_per = (r.physical_counts.runtime_ns / f.duration_ns).floor() as u64;
+            prop_assert!(runs_per >= 1);
+            prop_assert!(b.num_t_factories * runs_per >= b.num_t_factory_runs);
+        } else {
+            prop_assert_eq!(b.physical_qubits_for_t_factories, 0);
+        }
+        // rQOPS identity (Section III-E).
+        let rqops = b.algorithmic_logical_qubits as f64
+            * r.logical_qubit.logical_cycles_per_second();
+        prop_assert!((r.physical_counts.rqops - rqops).abs() / rqops < 1e-9);
+    }
+
+    /// Tightening the total budget never shrinks the code distance.
+    #[test]
+    fn distance_monotone_in_budget(
+        counts in arb_counts(),
+        profile in arb_profile(),
+    ) {
+        let loose = make(counts, profile.clone(), 1e-2).estimate();
+        let tight = make(counts, profile, 1e-6).estimate();
+        if let (Ok(a), Ok(b)) = (loose, tight) {
+            prop_assert!(b.logical_qubit.code_distance >= a.logical_qubit.code_distance);
+            prop_assert!(
+                b.physical_counts.physical_qubits >= a.physical_counts.physical_qubits
+            );
+        }
+    }
+
+    /// Estimation is deterministic.
+    #[test]
+    fn estimate_deterministic(counts in arb_counts(), profile in arb_profile()) {
+        let est = make(counts, profile, 1e-3);
+        let a = est.estimate();
+        let b = est.estimate();
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "nondeterministic success"),
+        }
+    }
+
+    /// A factory-copy cap is always respected and only slows things down.
+    #[test]
+    fn factory_cap_respected(
+        counts in arb_counts(),
+        profile in arb_profile(),
+        cap in 1u64..8,
+    ) {
+        let base = make(counts, profile.clone(), 1e-3);
+        let Ok(r0) = base.estimate() else { return Ok(()) };
+        if r0.breakdown.num_t_factories == 0 {
+            return Ok(());
+        }
+        let mut capped = make(counts, profile, 1e-3);
+        capped.constraints.max_t_factories = Some(cap);
+        let Ok(r1) = capped.estimate() else { return Ok(()) };
+        prop_assert!(r1.breakdown.num_t_factories <= cap);
+        prop_assert!(
+            r1.physical_counts.runtime_ns >= r0.physical_counts.runtime_ns * (1.0 - 1e-9)
+        );
+    }
+
+    /// Scaling every gate count by k scales T-state demand by exactly k and
+    /// never decreases runtime.
+    #[test]
+    fn workload_scaling(profile in arb_profile(), k in 2u64..10) {
+        let counts = LogicalCounts {
+            num_qubits: 100,
+            t_count: 1_000,
+            ccz_count: 500,
+            measurement_count: 2_000,
+            ..Default::default()
+        };
+        let scaled = counts.repeat(k);
+        let a = make(counts, profile.clone(), 1e-3).estimate();
+        let b = make(scaled, profile, 1e-3).estimate();
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(b.breakdown.num_t_states, k * a.breakdown.num_t_states);
+            prop_assert!(b.physical_counts.runtime_ns > a.physical_counts.runtime_ns);
+        }
+    }
+}

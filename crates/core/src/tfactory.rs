@@ -1,0 +1,636 @@
+//! T-state distillation factories (paper Sections III-D and IV-C.5).
+//!
+//! A **distillation unit** turns `k` noisy T states into one better T state;
+//! its failure probability and output error rate are *formula strings* over
+//! `inputErrorRate`, `cliffordErrorRate` and `readoutErrorRate`, exactly as
+//! the paper describes, so custom units are first-class. The default units
+//! are the 15-to-1 Reed–Muller family (constants per the paper's normative
+//! reference, Table VI):
+//!
+//! | unit | level | qubits | duration | p_fail | p_out |
+//! |---|---|---|---|---|---|
+//! | `15-to-1 RM prep` | physical | 31 | 23 cycles | `15·e_in + 356·p` | `35·e_in³ + 7.1·p` |
+//! | `15-to-1 space efficient` | physical | 12 | 46 cycles | same | same |
+//! | `15-to-1 RM prep` | logical (d) | 31 logical | 11 cycles | same, `p = P(d)` | same |
+//! | `15-to-1 space efficient` | logical (d) | 20 logical | 13 cycles | same | same |
+//!
+//! A **T factory** is a pipeline of up to `max_rounds` rounds; the first
+//! round consumes raw (physical) T states, later rounds consume the previous
+//! round's output and run on error-corrected logical qubits at a per-round
+//! code distance. Unit copies per round are provisioned against the round's
+//! failure probability so that each factory run delivers one output T state;
+//! the factory's qubit footprint is the widest round (rounds execute
+//! sequentially and reuse space) and its runtime is the sum of round
+//! durations.
+//!
+//! [`TFactoryBuilder`] searches unit sequences and per-round code distances,
+//! keeps every pipeline meeting the required output error, and selects the
+//! one minimising the space-time volume `physical_qubits × duration` (the
+//! qubit/runtime trade-off knob of Section IV-C.4 then trades along the kept
+//! Pareto frontier).
+
+use crate::error::{Error, Result};
+use crate::physical_qubit::PhysicalQubit;
+use crate::qec::QecScheme;
+use qre_expr::{Formula, Scope};
+use qre_json::{ObjectBuilder, Value};
+
+/// Physical-level execution parameters of a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicalUnitSpec {
+    /// Physical qubits per unit copy.
+    pub qubits: u64,
+    /// Duration in physical instruction cycles.
+    pub duration_cycles: u64,
+}
+
+/// Logical-level execution parameters of a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalUnitSpec {
+    /// Logical qubits per unit copy.
+    pub logical_qubits: u64,
+    /// Duration in logical cycles.
+    pub duration_logical_cycles: u64,
+}
+
+/// A distillation unit template (Section IV-C.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillationUnit {
+    /// Unit name for reports.
+    pub name: String,
+    /// Input T states consumed per run.
+    pub num_input_ts: u64,
+    /// Output T states produced per successful run.
+    pub num_output_ts: u64,
+    /// Failure probability formula. Variables: `inputErrorRate`,
+    /// `cliffordErrorRate`, `readoutErrorRate`.
+    pub failure_probability: Formula,
+    /// Output T-state error formula. Same variables.
+    pub output_error_rate: Formula,
+    /// Physical-level spec (first round only), if the unit supports it.
+    pub physical: Option<PhysicalUnitSpec>,
+    /// Logical-level spec, if the unit supports it.
+    pub logical: Option<LogicalUnitSpec>,
+    /// `true` for preparation units that must consume raw T states and can
+    /// therefore only appear in the first round.
+    pub first_round_only: bool,
+}
+
+/// The default 15-to-1 Reed–Muller unit family.
+pub fn default_distillation_units() -> Vec<DistillationUnit> {
+    let fail = Formula::parse("15 * inputErrorRate + 356 * cliffordErrorRate")
+        .expect("built-in formula");
+    let out = Formula::parse("35 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate")
+        .expect("built-in formula");
+    vec![
+        DistillationUnit {
+            name: "15-to-1 RM prep".into(),
+            num_input_ts: 15,
+            num_output_ts: 1,
+            failure_probability: fail.clone(),
+            output_error_rate: out.clone(),
+            physical: Some(PhysicalUnitSpec {
+                qubits: 31,
+                duration_cycles: 23,
+            }),
+            logical: Some(LogicalUnitSpec {
+                logical_qubits: 31,
+                duration_logical_cycles: 11,
+            }),
+            first_round_only: true,
+        },
+        DistillationUnit {
+            name: "15-to-1 space efficient".into(),
+            num_input_ts: 15,
+            num_output_ts: 1,
+            failure_probability: fail,
+            output_error_rate: out,
+            physical: Some(PhysicalUnitSpec {
+                qubits: 12,
+                duration_cycles: 46,
+            }),
+            logical: Some(LogicalUnitSpec {
+                logical_qubits: 20,
+                duration_logical_cycles: 13,
+            }),
+            first_round_only: false,
+        },
+    ]
+}
+
+/// Execution level of a factory round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundLevel {
+    /// Runs directly on physical qubits.
+    Physical,
+    /// Runs on logical qubits at the given code distance.
+    Logical {
+        /// Code distance protecting this round.
+        code_distance: u32,
+    },
+}
+
+/// One realised round of a T factory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactoryRound {
+    /// Name of the distillation unit used.
+    pub unit_name: String,
+    /// Execution level.
+    pub level: RoundLevel,
+    /// Parallel unit copies in this round.
+    pub copies: u64,
+    /// T-state error rate entering the round.
+    pub input_error_rate: f64,
+    /// T-state error rate leaving the round.
+    pub output_error_rate: f64,
+    /// Per-unit failure probability.
+    pub failure_probability: f64,
+    /// Physical qubits per unit copy.
+    pub physical_qubits_per_unit: u64,
+    /// Round duration (ns).
+    pub duration_ns: f64,
+}
+
+/// A complete T factory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TFactory {
+    /// The pipeline rounds, first to last.
+    pub rounds: Vec<FactoryRound>,
+    /// Physical qubit footprint (the widest round; rounds reuse space).
+    pub physical_qubits: u64,
+    /// Runtime of one factory run (ns).
+    pub duration_ns: f64,
+    /// Error rate of the delivered T state.
+    pub output_error_rate: f64,
+    /// T states delivered per run.
+    pub output_t_states: u64,
+    /// Raw (physical) T-state error rate entering round 1.
+    pub input_error_rate: f64,
+}
+
+impl TFactory {
+    /// Number of distillation rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Space-time volume (qubit·ns) used for default factory selection.
+    pub fn volume(&self) -> f64 {
+        self.physical_qubits as f64 * self.duration_ns
+    }
+
+    /// Render as the `tfactory` output group (Section IV-D.4).
+    pub fn to_json(&self) -> Value {
+        let rounds: Vec<Value> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                ObjectBuilder::new()
+                    .field("unit", r.unit_name.as_str())
+                    .field(
+                        "codeDistance",
+                        match r.level {
+                            RoundLevel::Physical => 0u64,
+                            RoundLevel::Logical { code_distance } => u64::from(code_distance),
+                        },
+                    )
+                    .field("copies", r.copies)
+                    .field("inputErrorRate", r.input_error_rate)
+                    .field("outputErrorRate", r.output_error_rate)
+                    .field("failureProbability", r.failure_probability)
+                    .field("physicalQubitsPerUnit", r.physical_qubits_per_unit)
+                    .field("durationNs", r.duration_ns)
+                    .build()
+            })
+            .collect();
+        ObjectBuilder::new()
+            .field("numRounds", self.rounds.len())
+            .field("physicalQubits", self.physical_qubits)
+            .field("durationNs", self.duration_ns)
+            .field("inputErrorRate", self.input_error_rate)
+            .field("outputErrorRate", self.output_error_rate)
+            .field("outputTStates", self.output_t_states)
+            .field("rounds", Value::Array(rounds))
+            .build()
+    }
+}
+
+/// Search configuration for T-factory pipelines.
+#[derive(Debug, Clone)]
+pub struct TFactoryBuilder {
+    /// Available distillation units.
+    pub units: Vec<DistillationUnit>,
+    /// Maximum pipeline depth (rounds).
+    pub max_rounds: usize,
+    /// Largest per-round code distance considered.
+    pub max_code_distance: u32,
+}
+
+impl Default for TFactoryBuilder {
+    fn default() -> Self {
+        TFactoryBuilder {
+            units: default_distillation_units(),
+            max_rounds: 3,
+            max_code_distance: 35,
+        }
+    }
+}
+
+/// A candidate round during search.
+#[derive(Debug, Clone, Copy)]
+struct RoundChoice {
+    unit_index: usize,
+    level: RoundLevel,
+}
+
+impl TFactoryBuilder {
+    /// Find every pipeline (up to `max_rounds`) whose output error meets
+    /// `required`, reduced to the Pareto frontier over (qubits, duration).
+    /// Sorted by ascending physical qubits (thus descending duration).
+    pub fn find_factories(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> Vec<TFactory> {
+        let mut found: Vec<TFactory> = Vec::new();
+        let mut pipeline: Vec<RoundChoice> = Vec::new();
+        self.search(qubit, scheme, required, qubit.t_gate_error, &mut pipeline, &mut found);
+        pareto(found)
+    }
+
+    /// The default factory: minimal space-time volume among all valid
+    /// pipelines (ties broken toward fewer qubits).
+    pub fn find_factory(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> Result<TFactory> {
+        let all = self.find_factories(qubit, scheme, required);
+        all.into_iter()
+            .min_by(|a, b| {
+                (a.volume(), a.physical_qubits)
+                    .partial_cmp(&(b.volume(), b.physical_qubits))
+                    .expect("volumes are finite")
+            })
+            .ok_or(Error::NoTFactory { required })
+    }
+
+    fn search(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+        input_error: f64,
+        pipeline: &mut Vec<RoundChoice>,
+        found: &mut Vec<TFactory>,
+    ) {
+        if pipeline.len() >= self.max_rounds {
+            return;
+        }
+        let first = pipeline.is_empty();
+        for (unit_index, unit) in self.units.iter().enumerate() {
+            if !first && unit.first_round_only {
+                continue;
+            }
+            let mut levels: Vec<RoundLevel> = Vec::new();
+            if first && unit.physical.is_some() {
+                levels.push(RoundLevel::Physical);
+            }
+            if unit.logical.is_some() {
+                let mut d = 1;
+                while d <= self.max_code_distance {
+                    levels.push(RoundLevel::Logical { code_distance: d });
+                    d += 2;
+                }
+            }
+            for level in levels {
+                let choice = RoundChoice { unit_index, level };
+                let Ok((out, _fail)) = self.eval_round(qubit, scheme, input_error, choice)
+                else {
+                    continue;
+                };
+                if out >= input_error {
+                    continue; // no progress: deeper rounds cannot help
+                }
+                pipeline.push(choice);
+                if out <= required {
+                    if let Ok(factory) = self.realise(qubit, scheme, pipeline) {
+                        found.push(factory);
+                    }
+                    // Deeper pipelines strictly add qubits and time.
+                } else {
+                    self.search(qubit, scheme, required, out, pipeline, found);
+                }
+                pipeline.pop();
+            }
+        }
+    }
+
+    /// Evaluate (output error, failure probability) of one round.
+    fn eval_round(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        input_error: f64,
+        choice: RoundChoice,
+    ) -> Result<(f64, f64)> {
+        let unit = &self.units[choice.unit_index];
+        let (clifford_error, readout_error) = match choice.level {
+            RoundLevel::Physical => (qubit.clifford_error_rate(), qubit.readout_error_rate()),
+            RoundLevel::Logical { code_distance } => {
+                let p = scheme.logical_error_rate(qubit.clifford_error_rate(), code_distance);
+                (p, p)
+            }
+        };
+        let scope = Scope::from_pairs([
+            ("inputErrorRate", input_error),
+            ("cliffordErrorRate", clifford_error),
+            ("readoutErrorRate", readout_error),
+        ]);
+        let fail = unit.failure_probability.eval(&scope)?;
+        let out = unit.output_error_rate.eval(&scope)?;
+        if !(0.0..1.0).contains(&fail) {
+            return Err(Error::Evaluation(format!(
+                "unit `{}` failure probability {fail} outside [0, 1)",
+                unit.name
+            )));
+        }
+        if !(out > 0.0 && out < 1.0) {
+            return Err(Error::Evaluation(format!(
+                "unit `{}` output error {out} outside (0, 1)",
+                unit.name
+            )));
+        }
+        Ok((out, fail))
+    }
+
+    /// Materialise a pipeline: error propagation, copy provisioning,
+    /// footprint and runtime.
+    fn realise(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        pipeline: &[RoundChoice],
+    ) -> Result<TFactory> {
+        // Forward pass: error rates and per-unit parameters.
+        let mut rounds: Vec<FactoryRound> = Vec::with_capacity(pipeline.len());
+        let mut input_error = qubit.t_gate_error;
+        for &choice in pipeline {
+            let unit = &self.units[choice.unit_index];
+            let (out, fail) = self.eval_round(qubit, scheme, input_error, choice)?;
+            let (qubits_per_unit, duration_ns) = match choice.level {
+                RoundLevel::Physical => {
+                    let spec = unit.physical.as_ref().expect("physical level checked");
+                    (
+                        spec.qubits,
+                        spec.duration_cycles as f64 * qubit.physical_cycle_time_ns(),
+                    )
+                }
+                RoundLevel::Logical { code_distance } => {
+                    let spec = unit.logical.as_ref().expect("logical level checked");
+                    (
+                        spec.logical_qubits * scheme.physical_qubits_per_logical(code_distance)?,
+                        spec.duration_logical_cycles as f64
+                            * scheme.logical_cycle_time_ns(qubit, code_distance)?,
+                    )
+                }
+            };
+            rounds.push(FactoryRound {
+                unit_name: unit.name.clone(),
+                level: choice.level,
+                copies: 0, // filled by the backward pass
+                input_error_rate: input_error,
+                output_error_rate: out,
+                failure_probability: fail,
+                physical_qubits_per_unit: qubits_per_unit,
+                duration_ns,
+            });
+            input_error = out;
+        }
+
+        // Backward pass: provision copies so each run delivers one output.
+        let mut needed_outputs = 1u64;
+        for (i, &choice) in pipeline.iter().enumerate().rev() {
+            let unit = &self.units[choice.unit_index];
+            let round = &mut rounds[i];
+            let per_unit_yield = unit.num_output_ts as f64 * (1.0 - round.failure_probability);
+            let copies = (needed_outputs as f64 / per_unit_yield).ceil() as u64;
+            round.copies = copies.max(1);
+            needed_outputs = round.copies * unit.num_input_ts;
+        }
+
+        let physical_qubits = rounds
+            .iter()
+            .map(|r| r.copies * r.physical_qubits_per_unit)
+            .max()
+            .unwrap_or(0);
+        let duration_ns = rounds.iter().map(|r| r.duration_ns).sum();
+        Ok(TFactory {
+            output_error_rate: input_error,
+            output_t_states: rounds.last().map_or(0, |r| {
+                self.units
+                    .iter()
+                    .find(|u| u.name == r.unit_name)
+                    .map_or(1, |u| u.num_output_ts)
+            }),
+            input_error_rate: qubit.t_gate_error,
+            rounds,
+            physical_qubits,
+            duration_ns,
+        })
+    }
+}
+
+/// Reduce to the Pareto frontier over (physical qubits, duration), sorted by
+/// ascending qubits.
+fn pareto(mut factories: Vec<TFactory>) -> Vec<TFactory> {
+    factories.sort_by(|a, b| {
+        (a.physical_qubits, a.duration_ns)
+            .partial_cmp(&(b.physical_qubits, b.duration_ns))
+            .expect("finite")
+    });
+    let mut front: Vec<TFactory> = Vec::new();
+    let mut best_duration = f64::INFINITY;
+    for f in factories {
+        if f.duration_ns < best_duration {
+            best_duration = f.duration_ns;
+            front.push(f);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> TFactoryBuilder {
+        TFactoryBuilder::default()
+    }
+
+    #[test]
+    fn default_units_shape() {
+        let units = default_distillation_units();
+        assert_eq!(units.len(), 2);
+        for u in &units {
+            assert_eq!(u.num_input_ts, 15);
+            assert_eq!(u.num_output_ts, 1);
+            assert!(u.physical.is_some());
+            assert!(u.logical.is_some());
+        }
+        assert!(units[0].first_round_only);
+        assert!(!units[1].first_round_only);
+    }
+
+    #[test]
+    fn single_round_suffices_for_loose_requirement() {
+        // gate_ns_e3: raw T error 1e-3; one 15-to-1 physical round gives
+        // 35e-9 + 7.1e-3·… ≈ 7.1e-3·— dominated by the Clifford term
+        // 7.1·1e-3 = 7.1e-3?? That is *worse* than 1e-3 at the physical
+        // level, so the first useful round is logical. Verify the search
+        // handles this by finding some valid factory for 1e-6.
+        let q = PhysicalQubit::qubit_gate_ns_e3();
+        let s = QecScheme::surface_code_gate_based();
+        let f = builder().find_factory(&q, &s, 1e-6).unwrap();
+        assert!(f.output_error_rate <= 1e-6);
+        assert!(f.num_rounds() >= 1);
+        assert!(f.physical_qubits > 0);
+        assert!(f.duration_ns > 0.0);
+    }
+
+    #[test]
+    fn three_rounds_for_majorana_e4() {
+        // The paper's Figure 3 profile: raw T error 0.05 needs a physical
+        // prep round plus logical rounds to reach ~1e-11.
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let f = builder().find_factory(&q, &s, 7.2e-12).unwrap();
+        assert!(f.output_error_rate <= 7.2e-12);
+        assert!(
+            (2..=3).contains(&f.num_rounds()),
+            "expected a deep pipeline, got {} rounds",
+            f.num_rounds()
+        );
+        // Round 1 must fight the 79% failure rate with many copies.
+        assert!(f.rounds[0].failure_probability > 0.5);
+        assert!(f.rounds[0].copies > 50, "copies = {}", f.rounds[0].copies);
+        // Error strictly decreases along the pipeline.
+        for w in f.rounds.windows(2) {
+            assert!(w[1].input_error_rate == w[0].output_error_rate);
+            assert!(w[1].output_error_rate < w[0].output_error_rate);
+        }
+    }
+
+    #[test]
+    fn copies_cover_failures_and_inputs() {
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let f = builder().find_factory(&q, &s, 1e-10).unwrap();
+        // Walking backward: round j must feed round j+1.
+        for w in f.rounds.windows(2) {
+            let produced = w[0].copies as f64 * (1.0 - w[0].failure_probability);
+            let consumed = w[1].copies * 15;
+            assert!(
+                produced >= consumed as f64 - 1.0,
+                "round feeds {produced:.1} into a demand of {consumed}"
+            );
+        }
+        let last = f.rounds.last().unwrap();
+        assert!(last.copies as f64 * (1.0 - last.failure_probability) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn unreachable_requirement_fails() {
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        match builder().find_factory(&q, &s, 1e-60) {
+            Err(Error::NoTFactory { .. }) => {}
+            other => panic!("expected NoTFactory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_is_pareto() {
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let front = builder().find_factories(&q, &s, 1e-10);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].physical_qubits <= w[1].physical_qubits);
+            assert!(
+                w[0].duration_ns > w[1].duration_ns,
+                "non-Pareto pair: ({}, {}) then ({}, {})",
+                w[0].physical_qubits,
+                w[0].duration_ns,
+                w[1].physical_qubits,
+                w[1].duration_ns
+            );
+        }
+        for f in &front {
+            assert!(f.output_error_rate <= 1e-10);
+        }
+    }
+
+    #[test]
+    fn tighter_requirements_cost_more_volume() {
+        let q = PhysicalQubit::qubit_gate_ns_e4();
+        let s = QecScheme::surface_code_gate_based();
+        let loose = builder().find_factory(&q, &s, 1e-8).unwrap();
+        let tight = builder().find_factory(&q, &s, 1e-14).unwrap();
+        assert!(tight.volume() >= loose.volume());
+        assert!(tight.output_error_rate <= 1e-14);
+    }
+
+    #[test]
+    fn custom_unit_is_searchable() {
+        // A made-up 7-to-1 unit with a simple error model.
+        let unit = DistillationUnit {
+            name: "7-to-1 test".into(),
+            num_input_ts: 7,
+            num_output_ts: 1,
+            failure_probability: Formula::parse("7 * inputErrorRate").unwrap(),
+            output_error_rate: Formula::parse(
+                "10 * inputErrorRate ^ 2 + cliffordErrorRate",
+            )
+            .unwrap(),
+            physical: Some(PhysicalUnitSpec {
+                qubits: 8,
+                duration_cycles: 10,
+            }),
+            logical: Some(LogicalUnitSpec {
+                logical_qubits: 8,
+                duration_logical_cycles: 5,
+            }),
+            first_round_only: false,
+        };
+        let b = TFactoryBuilder {
+            units: vec![unit],
+            max_rounds: 2,
+            max_code_distance: 21,
+        };
+        let q = PhysicalQubit::qubit_gate_ns_e4();
+        let s = QecScheme::surface_code_gate_based();
+        let f = b.find_factory(&q, &s, 1e-6).unwrap();
+        assert_eq!(f.rounds[0].unit_name, "7-to-1 test");
+        assert!(f.output_error_rate <= 1e-6);
+    }
+
+    #[test]
+    fn json_report() {
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let f = builder().find_factory(&q, &s, 1e-10).unwrap();
+        let v = f.to_json();
+        assert_eq!(
+            v.get("numRounds").unwrap().as_u64().unwrap(),
+            f.num_rounds() as u64
+        );
+        assert_eq!(
+            v.get("rounds").unwrap().as_array().unwrap().len(),
+            f.num_rounds()
+        );
+        assert!(v.get("outputErrorRate").unwrap().as_f64().unwrap() <= 1e-10);
+    }
+}

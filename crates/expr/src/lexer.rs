@@ -1,0 +1,238 @@
+//! Tokenizer for formula strings.
+
+use std::fmt;
+
+/// A lexical token of the formula grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal (integer, decimal, or scientific notation).
+    Number(f64),
+    /// Identifier: variable or function name (`[A-Za-z_][A-Za-z0-9_]*`).
+    Ident(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Ident(s) => f.write_str(s),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Caret => f.write_str("^"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+        }
+    }
+}
+
+/// Error produced by the tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the source string.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a formula string. Positions of tokens (byte offsets) are returned
+/// alongside each token for parser diagnostics.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'+' => {
+                tokens.push((Token::Plus, i));
+                i += 1;
+            }
+            b'-' => {
+                tokens.push((Token::Minus, i));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push((Token::Star, i));
+                i += 1;
+            }
+            b'/' => {
+                tokens.push((Token::Slash, i));
+                i += 1;
+            }
+            b'^' => {
+                tokens.push((Token::Caret, i));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            b',' => {
+                tokens.push((Token::Comma, i));
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    // Scientific exponent: only consume when followed by a
+                    // well-formed exponent, so `2e` lexes as number + ident.
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                        i = j;
+                    }
+                }
+                let text = &src[start..i];
+                if text == "." {
+                    return Err(LexError {
+                        message: "lone '.' is not a number".into(),
+                        offset: start,
+                    });
+                }
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    message: format!("invalid numeric literal `{text}`"),
+                    offset: start,
+                })?;
+                tokens.push((Token::Number(value), start));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{}`", other as char),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        assert_eq!(
+            toks("a + b*c - d/e ^ f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Ident("b".into()),
+                Token::Star,
+                Token::Ident("c".into()),
+                Token::Minus,
+                Token::Ident("d".into()),
+                Token::Slash,
+                Token::Ident("e".into()),
+                Token::Caret,
+                Token::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42"), vec![Token::Number(42.0)]);
+        assert_eq!(toks("3.5"), vec![Token::Number(3.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Number(1000.0)]);
+        assert_eq!(toks("2.5E-2"), vec![Token::Number(0.025)]);
+        assert_eq!(toks("7."), vec![Token::Number(7.0)]);
+    }
+
+    #[test]
+    fn ambiguous_e_suffix_splits() {
+        // `2e` is the number 2 followed by the identifier `e`.
+        assert_eq!(
+            toks("2e"),
+            vec![Token::Number(2.0), Token::Ident("e".into())]
+        );
+        // `2e+` likewise (then a plus).
+        assert_eq!(
+            toks("2e+"),
+            vec![Token::Number(2.0), Token::Ident("e".into()), Token::Plus]
+        );
+    }
+
+    #[test]
+    fn camel_case_variables() {
+        assert_eq!(
+            toks("oneQubitMeasurementTime"),
+            vec![Token::Ident("oneQubitMeasurementTime".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a $ b").is_err());
+        assert!(tokenize(".").is_err());
+        let err = tokenize("x + @").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab + cd").unwrap();
+        assert_eq!(toks[0].1, 0);
+        assert_eq!(toks[1].1, 3);
+        assert_eq!(toks[2].1, 5);
+    }
+}

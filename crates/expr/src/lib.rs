@@ -1,0 +1,140 @@
+//! # qre-expr
+//!
+//! Parser and evaluator for the *formula strings* that parameterise QEC
+//! schemes and distillation units (paper Section IV-C.2 and IV-C.5): e.g. the
+//! surface-code logical cycle time
+//!
+//! ```text
+//! (4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance
+//! ```
+//!
+//! or a distillation unit's output error rate
+//!
+//! ```text
+//! 35.0 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate
+//! ```
+//!
+//! The grammar supports `+ - * /`, exponentiation `^` (right-associative),
+//! unary minus, parentheses, numeric literals (integer, decimal, scientific),
+//! named variables, and the functions `sqrt`, `log2`, `ln`, `ceil`, `floor`,
+//! `min`, `max`, `pow`.
+//!
+//! Expressions are parsed once into a [`Formula`] and then evaluated many
+//! times against a [`Scope`] (evaluation is allocation-free), because the
+//! T-factory search evaluates the same unit formulas thousands of times.
+//!
+//! ```
+//! use qre_expr::{Formula, Scope};
+//!
+//! let f = Formula::parse("(4 * twoQubitGateTime + 2 * oneQubitMeasurementTime) * codeDistance")
+//!     .unwrap();
+//! let mut scope = Scope::new();
+//! scope.set("twoQubitGateTime", 50.0);
+//! scope.set("oneQubitMeasurementTime", 100.0);
+//! scope.set("codeDistance", 9.0);
+//! assert_eq!(f.eval(&scope).unwrap(), (4.0 * 50.0 + 2.0 * 100.0) * 9.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{Expr, Formula};
+pub use lexer::{LexError, Token};
+pub use parser::ParseError;
+
+use std::fmt;
+
+/// Variable bindings for formula evaluation.
+///
+/// Backed by a sorted vector: formula scopes in this domain hold well under
+/// 16 variables, where binary search over a contiguous vector beats hashing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Scope {
+    vars: Vec<(String, f64)>,
+}
+
+impl Scope {
+    /// An empty scope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a scope from `(name, value)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let mut scope = Self::new();
+        for (name, value) in pairs {
+            scope.set(name, value);
+        }
+        scope
+    }
+
+    /// Bind `name` to `value`, overwriting any previous binding.
+    pub fn set(&mut self, name: &str, value: f64) {
+        match self.vars.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.vars[i].1 = value,
+            Err(i) => self.vars.insert(i, (name.to_owned(), value)),
+        }
+    }
+
+    /// Look up a binding.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.vars
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.vars[i].1)
+    }
+
+    /// Names bound in this scope, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.vars.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// Error produced when evaluating a [`Formula`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable referenced by the formula is absent from the scope.
+    UnknownVariable(String),
+    /// A function was called with the wrong number of arguments (detected at
+    /// parse time, but kept here for completeness of the public API).
+    BadArity {
+        /// Function name.
+        name: String,
+        /// Number of arguments supplied.
+        got: usize,
+        /// Number of arguments expected.
+        want: usize,
+    },
+    /// The evaluation produced a non-finite intermediate or final value
+    /// (division by zero, log of a non-positive number, overflow, ...).
+    NonFinite {
+        /// Which operation produced the non-finite value.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => {
+                write!(f, "unknown variable `{name}` in formula")
+            }
+            EvalError::BadArity { name, got, want } => {
+                write!(f, "function `{name}` expects {want} argument(s), got {got}")
+            }
+            EvalError::NonFinite { context } => {
+                write!(f, "formula evaluation produced a non-finite value in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,274 @@
+//! Pratt parser for the formula grammar.
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := unary (('*' | '/') unary)*
+//! unary   := '-' unary | power
+//! power   := atom ('^' unary)?          -- right associative
+//! atom    := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+
+use crate::ast::{Expr, Func1, Func2};
+use crate::lexer::{tokenize, Token};
+use std::fmt;
+
+/// Error produced when parsing a formula string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the formula source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "formula parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+pub(crate) fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = P {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let expr = p.expr()?;
+    if let Some((tok, off)) = p.peek_with_offset() {
+        return Err(ParseError {
+            message: format!("unexpected token `{tok}` after expression"),
+            offset: off,
+        });
+    }
+    Ok(expr)
+}
+
+struct P {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek_with_offset(&self) -> Option<(&Token, usize)> {
+        self.tokens.get(self.pos).map(|(t, o)| (t, *o))
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |(_, o)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected `{tok}`"),
+                offset: self.offset(),
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                let rhs = self.term()?;
+                lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Token::Minus) {
+                let rhs = self.term()?;
+                lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat(&Token::Star) {
+                let rhs = self.unary()?;
+                lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&Token::Slash) {
+                let rhs = self.unary()?;
+                lhs = Expr::Div(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.atom()?;
+        if self.eat(&Token::Caret) {
+            // Right-associative; exponent may carry a unary minus (`x ^ -2`).
+            let exp = self.unary()?;
+            Ok(Expr::Pow(Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = vec![self.expr()?];
+                    while self.eat(&Token::Comma) {
+                        args.push(self.expr()?);
+                    }
+                    self.expect(Token::RParen)?;
+                    make_call(&name, args, offset)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(tok) => Err(ParseError {
+                message: format!("unexpected token `{tok}`"),
+                offset,
+            }),
+            None => Err(ParseError {
+                message: "unexpected end of formula".into(),
+                offset,
+            }),
+        }
+    }
+}
+
+fn make_call(name: &str, args: Vec<Expr>, offset: usize) -> Result<Expr, ParseError> {
+    let arity_error = |want: usize, got: usize| ParseError {
+        message: format!("function `{name}` expects {want} argument(s), got {got}"),
+        offset,
+    };
+    let f1 = match name {
+        "sqrt" => Some(Func1::Sqrt),
+        "log2" => Some(Func1::Log2),
+        "ln" => Some(Func1::Ln),
+        "ceil" => Some(Func1::Ceil),
+        "floor" => Some(Func1::Floor),
+        "abs" => Some(Func1::Abs),
+        _ => None,
+    };
+    if let Some(f) = f1 {
+        let got = args.len();
+        let mut it = args.into_iter();
+        return match (it.next(), it.next()) {
+            (Some(a), None) => Ok(Expr::Call1(f, Box::new(a))),
+            _ => Err(arity_error(1, got)),
+        };
+    }
+    let f2 = match name {
+        "min" => Some(Func2::Min),
+        "max" => Some(Func2::Max),
+        "pow" => Some(Func2::Pow),
+        _ => None,
+    };
+    if let Some(f) = f2 {
+        let got = args.len();
+        let mut it = args.into_iter();
+        return match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => Ok(Expr::Call2(f, Box::new(a), Box::new(b))),
+            _ => Err(arity_error(2, got)),
+        };
+    }
+    Err(ParseError {
+        message: format!("unknown function `{name}`"),
+        offset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{Formula, Scope};
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(Formula::parse("(1 + 2").is_err());
+        assert!(Formula::parse("1 + 2)").is_err());
+        assert!(Formula::parse("()").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_operators() {
+        assert!(Formula::parse("1 +").is_err());
+        assert!(Formula::parse("* 2").is_err());
+        assert!(Formula::parse("1 2").is_err());
+        assert!(Formula::parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_functions_and_arity() {
+        assert!(Formula::parse("foo(1)").is_err());
+        assert!(Formula::parse("sqrt(1, 2)").is_err());
+        assert!(Formula::parse("min(1)").is_err());
+        assert!(Formula::parse("max(1, 2, 3)").is_err());
+    }
+
+    #[test]
+    fn double_unary_minus() {
+        let f = Formula::parse("--3").unwrap();
+        assert_eq!(f.eval(&Scope::new()).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn exponent_with_negative() {
+        let f = Formula::parse("2 ^ -2").unwrap();
+        assert_eq!(f.eval(&Scope::new()).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = Formula::parse("1 + * 2").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

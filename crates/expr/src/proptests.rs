@@ -1,0 +1,94 @@
+//! Property-based tests for the formula engine.
+
+use crate::{Expr, Formula, Scope};
+use proptest::prelude::*;
+
+/// Random expression trees over variables `x`, `y`, `z`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100.0f64..100.0).prop_map(Expr::Number),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(|v| Expr::Var(v.to_string())),
+    ];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing an expression and re-parsing it yields the same value: the
+    /// printer's minimal parenthesisation preserves semantics.
+    #[test]
+    fn print_parse_eval_identity(e in arb_expr(), x in -10.0f64..10.0, y in -10.0f64..10.0, z in -10.0f64..10.0) {
+        let scope = Scope::from_pairs([("x", x), ("y", y), ("z", z)]);
+        let printed = e.to_string();
+        let reparsed = Formula::parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed form failed to parse: {printed}");
+        let reparsed = reparsed.unwrap();
+        match (e.eval(&scope), reparsed.eval(&scope)) {
+            (Ok(a), Ok(b)) => {
+                let same = a == b
+                    || (a - b).abs() <= 1e-9 * a.abs().max(b.abs());
+                prop_assert!(same, "{printed}: {a} != {b}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent results for {printed}: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,48}") {
+        let _ = Formula::parse(&s);
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn eval_deterministic(e in arb_expr(), x in -5.0f64..5.0) {
+        let scope = Scope::from_pairs([("x", x), ("y", 1.0), ("z", 2.0)]);
+        let a = e.eval(&scope);
+        let b = e.eval(&scope);
+        prop_assert_eq!(a, b);
+    }
+
+    /// `variables()` reports exactly the variables needed: binding only those
+    /// suffices for evaluation to not report an unknown variable.
+    #[test]
+    fn variables_are_sufficient(e in arb_expr()) {
+        let mut scope = Scope::new();
+        for name in e.variables() {
+            scope.set(&name, 1.5);
+        }
+        if let Err(crate::EvalError::UnknownVariable(name)) = e.eval(&scope) {
+            prop_assert!(false, "variable {name} missing from variables()");
+        }
+    }
+
+    /// Scope set/get behaves like a map.
+    #[test]
+    fn scope_semantics(pairs in prop::collection::vec(("[a-e]", -10.0f64..10.0), 0..16)) {
+        let mut scope = Scope::new();
+        let mut reference = std::collections::BTreeMap::new();
+        for (name, value) in &pairs {
+            scope.set(name, *value);
+            reference.insert(name.clone(), *value);
+        }
+        for (name, value) in &reference {
+            prop_assert_eq!(scope.get(name), Some(*value));
+        }
+        let names: Vec<_> = scope.names().map(str::to_owned).collect();
+        let expected: Vec<_> = reference.keys().cloned().collect();
+        prop_assert_eq!(names, expected);
+    }
+}

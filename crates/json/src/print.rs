@@ -1,0 +1,194 @@
+//! Deterministic JSON printers.
+//!
+//! Number output uses Rust's shortest-round-trip `f64` formatting and is
+//! post-processed so the emitted literal is always valid JSON (a bare `1e300`
+//! stays `1e300`, `NaN`/infinities are unrepresentable and rejected upstream
+//! by the parser; when printing we map them to `null` defensively).
+
+use crate::value::{Number, Value};
+use std::fmt::Write as _;
+
+pub(crate) fn write_compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                push_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+#[inline]
+fn push_indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) => {
+            if !f.is_finite() {
+                // JSON cannot represent these; degrade to null rather than
+                // emit an invalid document.
+                out.push_str("null");
+                return;
+            }
+            if f == f.trunc() && f.abs() < 1e15 {
+                // Small integral floats print with a ".0" so they survive a
+                // round-trip as floats (important for duration fields).
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, ObjectBuilder, Value};
+
+    #[test]
+    fn compact_round_trip() {
+        let v = ObjectBuilder::new()
+            .field("int", 12u64)
+            .field("neg", -5i64)
+            .field("float", 0.015625f64)
+            .field("sci", 1.12e11f64)
+            .field("s", "line\nbreak\t\"quote\"")
+            .field("arr", vec![1u64, 2, 3])
+            .field("nested", ObjectBuilder::new().field("x", true).build())
+            .build();
+        let text = v.to_string_compact();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_round_trip_and_shape() {
+        let v = ObjectBuilder::new()
+            .field("a", Vec::<u64>::new())
+            .field("b", vec![1u64])
+            .build();
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\"a\": []"));
+        assert!(pretty.contains("\"b\": [\n"));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_float_keeps_decimal_point() {
+        let v: Value = 100.0f64.into();
+        assert_eq!(v.to_string_compact(), "100.0");
+        // ...and large magnitudes use scientific notation from Rust's fmt.
+        let v: Value = 1e300f64.into();
+        let s = v.to_string_compact();
+        assert_eq!(parse(&s).unwrap().as_f64(), Some(1e300));
+    }
+
+    #[test]
+    fn non_finite_degrades_to_null() {
+        let v: Value = f64::NAN.into();
+        assert_eq!(v.to_string_compact(), "null");
+        let v: Value = f64::INFINITY.into();
+        assert_eq!(v.to_string_compact(), "null");
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let v: Value = "\u{0001}\u{001f}".into();
+        assert_eq!(v.to_string_compact(), "\"\\u0001\\u001f\"");
+        let round = parse(&v.to_string_compact()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        let v: Value = "héllo 😀".into();
+        let text = v.to_string_compact();
+        assert_eq!(parse(&text).unwrap(), v);
+        assert!(text.contains("héllo"));
+    }
+}

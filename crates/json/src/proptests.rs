@@ -1,0 +1,81 @@
+//! Property-based tests: print∘parse identity over arbitrary documents.
+
+use crate::{parse, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary JSON values of bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(|u| Value::Num(Number::UInt(u))),
+        any::<i64>().prop_map(|i| Value::Num(Number::Int(i))),
+        // Finite floats only; non-finite are not representable in JSON.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(|f| Value::Num(Number::Float(f))),
+        "[ -~]{0,24}".prop_map(Value::Str),   // printable ASCII
+        "\\PC{0,8}".prop_map(Value::Str),      // arbitrary printable unicode
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(|m| {
+                Value::Object(m.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+/// Numbers compare equal through a round trip even when the integer/float
+/// representation changes (e.g. a `u64` above 2^53 may come back as float).
+fn approx_same(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => match (x, y) {
+            (Number::UInt(u), Number::UInt(v)) => u == v,
+            (Number::Int(u), Number::Int(v)) => u == v,
+            _ => x.as_f64() == y.as_f64() || (x.as_f64().is_nan() && y.as_f64().is_nan()),
+        },
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| approx_same(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && approx_same(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_print_parse_identity(v in arb_value()) {
+        let text = v.to_string_compact();
+        let back = parse(&text).unwrap();
+        prop_assert!(approx_same(&v, &back), "{v:?} -> {text} -> {back:?}");
+    }
+
+    #[test]
+    fn pretty_print_parse_identity(v in arb_value()) {
+        let text = v.to_string_pretty();
+        let back = parse(&text).unwrap();
+        prop_assert!(approx_same(&v, &back));
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn float_round_trip_exact(f in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+        let v: Value = f.into();
+        let back = parse(&v.to_string_compact()).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap(), f);
+    }
+}

@@ -1,0 +1,253 @@
+//! # qre-par
+//!
+//! Minimal data-parallel building blocks for the `qre` workspace, built on
+//! [`crossbeam`] scoped threads (the workspace's approved parallelism crate).
+//!
+//! The estimator's heavy consumers — figure sweeps over dozens of
+//! (algorithm, input size, hardware profile) combinations and the Pareto
+//! frontier search — are embarrassingly parallel over *coarse* tasks (each
+//! task is a full estimation run). Accordingly the scheduler here favours
+//! simplicity and dynamic load balance over per-item overhead tuning:
+//!
+//! * work distribution through a single shared atomic cursor (each worker
+//!   claims the next index; no work item is ever processed twice),
+//! * results gathered per worker and stitched back **in input order**, so
+//!   `parallel_map` is a drop-in replacement for `iter().map().collect()`,
+//! * panics in workers propagate to the caller (crossbeam re-raises them on
+//!   scope exit), preserving the fail-fast behaviour of sequential code.
+//!
+//! ```
+//! let squares = qre_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads, overridable through the `QRE_THREADS`
+/// environment variable (useful for benchmarking scalability).
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("QRE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every element of `items` in parallel, returning results in
+/// input order.
+///
+/// Falls back to a sequential loop for tiny inputs or single-core machines.
+/// Panics raised by `f` propagate to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`parallel_map`], but `f` also receives the element index.
+pub fn parallel_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            // A panic inside a worker surfaces here as Err; re-raise it so the
+            // caller sees the original panic payload (fail-fast semantics).
+            match handle.join() {
+                Ok(local) => per_worker.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    })
+    .expect("crossbeam scope itself does not fail");
+
+    // Stitch results back into input order without an extra sort: place each
+    // item at its recorded index.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for local in per_worker {
+        for (i, r) in local {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// Parallel minimisation: return the element of `items` minimising `key`,
+/// along with its key. Ties resolve to the earliest index, matching
+/// `Iterator::min_by`'s "first minimum" contract for stable selection.
+pub fn parallel_min_by_key<T, K, F>(items: &[T], key: F) -> Option<(usize, K)>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    let keys = parallel_map(items, &key);
+    let mut best: Option<(usize, K)> = None;
+    for (i, k) in keys.into_iter().enumerate() {
+        let better = match &best {
+            None => true,
+            Some((_, bk)) => k < *bk,
+        };
+        if better {
+            best = Some((i, k));
+        }
+    }
+    best
+}
+
+/// Cartesian product of two parameter axes, in row-major order — the shape of
+/// the paper's Figure 3/4 sweeps (algorithms × input sizes, algorithms ×
+/// hardware profiles).
+pub fn cartesian2<A: Clone, B: Clone>(xs: &[A], ys: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for x in xs {
+        for y in ys {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Cartesian product of three parameter axes, in row-major order.
+pub fn cartesian3<A: Clone, B: Clone, C: Clone>(xs: &[A], ys: &[B], zs: &[C]) -> Vec<(A, B, C)> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+    for x in xs {
+        for y in ys {
+            for z in zs {
+                out.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_matches_sequential() {
+        let items: Vec<u64> = (0..1000).collect();
+        let par = parallel_map(&items, |&x| x * x + 1);
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_preserves_order_with_uneven_work() {
+        // Make early items slow so late items finish first; order must hold.
+        let items: Vec<u64> = (0..64).collect();
+        let par = parallel_map(&items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(par, items);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..513).collect();
+        let out = parallel_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 513);
+        assert_eq!(out.len(), 513);
+    }
+
+    #[test]
+    fn indexed_variant_sees_correct_indices() {
+        let items = vec!["a", "b", "c"];
+        let out = parallel_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn panics_propagate() {
+        let items: Vec<u64> = (0..128).collect();
+        let _ = parallel_map(&items, |&x| {
+            if x == 77 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn min_by_key_first_minimum_wins() {
+        let items = vec![3u64, 1, 4, 1, 5];
+        let (idx, key) = parallel_min_by_key(&items, |&x| x).unwrap();
+        assert_eq!((idx, key), (1, 1));
+        assert!(parallel_min_by_key::<u64, u64, _>(&[], |&x| x).is_none());
+    }
+
+    #[test]
+    fn cartesian_products() {
+        let xy = cartesian2(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(xy.len(), 6);
+        assert_eq!(xy[0], (1, "a"));
+        assert_eq!(xy[5], (2, "c"));
+        let xyz = cartesian3(&[1], &[2, 3], &[4, 5]);
+        assert_eq!(
+            xyz,
+            vec![(1, 2, 4), (1, 2, 5), (1, 3, 4), (1, 3, 5)]
+        );
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # qre — Quantum Resource Estimator
+//!
+//! An open reproduction of the system described in *"Using Azure Quantum
+//! Resource Estimator for Assessing Performance of Fault Tolerant Quantum
+//! Computation"* (van Dam, Mykhailova, Soeken — SC 2023, arXiv:2311.05801),
+//! following the estimation methodology of its normative reference,
+//! Beverland et al., *"Assessing requirements to scale to practical quantum
+//! advantage"* (arXiv:2211.07629).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`circuit`] — logical circuit IR, resource tracer, QIR-lite front end,
+//!   and the "known logical estimates" input path,
+//! * [`arith`] — fault-tolerant quantum arithmetic (adders, table lookup, and
+//!   the paper's three multipliers: schoolbook, Karatsuba, windowed),
+//! * [`estimator`] — the physical resource estimation pipeline (QEC code
+//!   distance, T factories, rQOPS, constraints, Pareto frontiers),
+//! * [`expr`] — the formula-string engine for QEC/distillation parameters,
+//! * [`json`] — the JSON substrate used by the job/result I/O contract.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qre::estimator::{EstimationJob, HardwareProfile, QecSchemeKind};
+//! use qre::circuit::LogicalCounts;
+//!
+//! // Logical counts for a small algorithm (the Section IV-B.3 input path).
+//! let counts = LogicalCounts::builder()
+//!     .logical_qubits(100)
+//!     .t_gates(50_000)
+//!     .ccz_gates(10_000)
+//!     .measurements(25_000)
+//!     .build();
+//!
+//! let job = EstimationJob::builder()
+//!     .counts(counts)
+//!     .profile(HardwareProfile::qubit_gate_ns_e3())
+//!     .qec(QecSchemeKind::SurfaceCode)
+//!     .total_error_budget(1e-3)
+//!     .build()
+//!     .unwrap();
+//!
+//! let result = job.estimate().unwrap();
+//! assert!(result.physical_counts.physical_qubits > 0);
+//! assert!(result.physical_counts.runtime_ns > 0.0);
+//! println!("{}", result.to_report());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use qre_arith as arith;
+pub use qre_circuit as circuit;
+pub use qre_core as estimator;
+pub use qre_expr as expr;
+pub use qre_json as json;
