@@ -199,11 +199,7 @@ pub fn xor_into<S: Sink>(b: &mut Builder<S>, src: &[QubitId], tgt: &[QubitId]) {
 
 /// Multiplex a register against a control: returns `tmp` with
 /// `tmp_j = ctrl ∧ src_j`. Cost: `src.len()` CCiX.
-pub fn mux_register<S: Sink>(
-    b: &mut Builder<S>,
-    ctrl: QubitId,
-    src: &[QubitId],
-) -> Vec<QubitId> {
+pub fn mux_register<S: Sink>(b: &mut Builder<S>, ctrl: QubitId, src: &[QubitId]) -> Vec<QubitId> {
     src.iter().map(|&s| and_compute(b, ctrl, s)).collect()
 }
 

@@ -12,11 +12,7 @@ use qre_circuit::{Builder, QubitId, Sink};
 ///
 /// Cost: `2·(n+1)−2` CCiX, the matching measurements, and `n+1` scratch
 /// qubits (peak, excluding the returned flag).
-pub fn is_less_than<S: Sink>(
-    b: &mut Builder<S>,
-    lhs: &[QubitId],
-    rhs: &[QubitId],
-) -> QubitId {
+pub fn is_less_than<S: Sink>(b: &mut Builder<S>, lhs: &[QubitId], rhs: &[QubitId]) -> QubitId {
     assert_eq!(lhs.len(), rhs.len(), "comparator requires equal widths");
     let n = lhs.len();
     assert!(n >= 1);

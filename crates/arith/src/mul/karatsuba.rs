@@ -69,10 +69,7 @@ pub fn karatsuba_accumulate<S: Sink>(
 ) {
     assert_eq!(x.len(), y.len(), "Karatsuba operands must have equal width");
     let n = x.len();
-    assert!(
-        acc.len() >= 2 * n,
-        "accumulator too narrow for the product"
-    );
+    assert!(acc.len() >= 2 * n, "accumulator too narrow for the product");
     // The recursion wants two guard bits of headroom (cross terms of odd
     // splits); stage through a scratch register sized for it. The product
     // x·y < 2^{2n}, so the scratch's guard bits end at zero and the clipped
@@ -216,13 +213,13 @@ mod tests {
 
     #[test]
     fn karatsuba_is_correct_randomised_wider() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut state = 0x5EEDu64;
+        let mut next = move || crate::testsim::splitmix64(&mut state);
         for n in [7usize, 8, 12, 16, 20, 23] {
             for cutoff in [2usize, 5, 8] {
                 for _ in 0..8 {
                     let mask = (1u64 << n) - 1;
-                    check_product(n, rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, cutoff);
+                    check_product(n, next() & mask, next() & mask, cutoff);
                 }
             }
         }

@@ -80,9 +80,7 @@ pub fn emit_multiplication<S: Sink>(
     let acc = builder.alloc_register(2 * bits + 1);
     match alg {
         MulAlgorithm::Schoolbook => schoolbook_accumulate_fresh(builder, &x.0, &y.0, &acc.0),
-        MulAlgorithm::Karatsuba => {
-            karatsuba_accumulate(builder, &x.0, &y.0, &acc.0, cfg.karatsuba)
-        }
+        MulAlgorithm::Karatsuba => karatsuba_accumulate(builder, &x.0, &y.0, &acc.0, cfg.karatsuba),
         MulAlgorithm::Windowed => windowed_accumulate(
             builder,
             &x.0,
@@ -148,8 +146,18 @@ mod tests {
         let k = multiplication_counts_with(MulAlgorithm::Karatsuba, bits, cfg);
         let s = multiplication_counts_with(MulAlgorithm::Schoolbook, bits, cfg);
         let w = multiplication_counts_with(MulAlgorithm::Windowed, bits, cfg);
-        assert!(k.num_qubits > s.num_qubits, "k={} s={}", k.num_qubits, s.num_qubits);
-        assert!(k.num_qubits > w.num_qubits, "k={} w={}", k.num_qubits, w.num_qubits);
+        assert!(
+            k.num_qubits > s.num_qubits,
+            "k={} s={}",
+            k.num_qubits,
+            s.num_qubits
+        );
+        assert!(
+            k.num_qubits > w.num_qubits,
+            "k={} w={}",
+            k.num_qubits,
+            w.num_qubits
+        );
     }
 
     #[test]
@@ -184,8 +192,16 @@ mod tests {
             let s = multiplication_counts_with(MulAlgorithm::Schoolbook, bits, cfg);
             depth_proxy(&k) as f64 / depth_proxy(&s) as f64
         };
-        assert!(ratio(128) > 1.0, "karatsuba should lose at 2x cutoff: {}", ratio(128));
-        assert!(ratio(1024) < 1.0, "karatsuba should win at 16x cutoff: {}", ratio(1024));
+        assert!(
+            ratio(128) > 1.0,
+            "karatsuba should lose at 2x cutoff: {}",
+            ratio(128)
+        );
+        assert!(
+            ratio(1024) < 1.0,
+            "karatsuba should win at 16x cutoff: {}",
+            ratio(1024)
+        );
     }
 
     #[test]

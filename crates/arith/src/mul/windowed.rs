@@ -166,13 +166,13 @@ mod tests {
 
     #[test]
     fn windowed_is_correct_randomised() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut state = 42u64;
+        let mut next = move || crate::testsim::splitmix64(&mut state);
         for n in [8usize, 11, 16] {
             for window in [2usize, 3, 4] {
                 for _ in 0..10 {
-                    let xv = rng.gen::<u64>() & ((1 << n) - 1);
-                    let yv = rng.gen::<u64>() & 0x3FFF;
+                    let xv = next() & ((1 << n) - 1);
+                    let yv = next() & 0x3FFF;
                     check(n, xv, yv, window);
                 }
             }

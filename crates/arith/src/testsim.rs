@@ -203,3 +203,13 @@ impl SinkBit for Builder<SimSink> {
         self.sink().bits.get(idx).copied().unwrap_or(false)
     }
 }
+
+/// Deterministic splitmix64 step, the test suite's stand-in for an external
+/// PRNG crate (offline builds cannot vendor `rand`).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

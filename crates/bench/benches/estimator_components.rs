@@ -1,12 +1,12 @@
 //! Criterion micro-benches for the estimator's component stages: formula
-//! evaluation, code-distance solving, T-factory search, layout, and the full
-//! fixed-point solve.
+//! evaluation, code-distance solving, T-factory search, layout, the full
+//! fixed-point solve, and the engine's cold vs. cache-warm profile sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qre_circuit::LogicalCounts;
 use qre_core::{
-    layout, Constraints, ErrorBudget, PhysicalQubit, PhysicalResourceEstimation, QecScheme,
-    TFactoryBuilder,
+    layout, Constraints, ErrorBudget, Estimator, PhysicalQubit, PhysicalResourceEstimation,
+    QecScheme, SweepSpec, TFactoryBuilder,
 };
 use qre_expr::{Formula, Scope};
 
@@ -81,12 +81,45 @@ fn bench_full_estimate(c: &mut Criterion) {
     });
 }
 
+/// Cold vs. cache-warm engine sweep over the six default hardware profiles
+/// (the Figure 4 shape). "Cold" builds a fresh engine per iteration, so
+/// every item redoes the T-factory pipeline search — the cost profile of
+/// six independent `EstimationJob::estimate()` calls. "Warm" reuses one
+/// engine whose cache was primed once, so the search is skipped for all six
+/// items. The speedup is recorded in `BENCH_engine.json`.
+fn bench_engine_sweep(c: &mut Criterion) {
+    let spec = SweepSpec::new()
+        .workload(
+            "sweep",
+            LogicalCounts {
+                num_qubits: 2_000,
+                t_count: 500_000,
+                ccz_count: 100_000,
+                measurement_count: 500_000,
+                ..Default::default()
+            },
+        )
+        .profiles(PhysicalQubit::default_profiles())
+        .total_error_budget(1e-4);
+    let mut group = c.benchmark_group("engine_sweep_six_profiles");
+    group.bench_function("cold", |b| {
+        b.iter(|| Estimator::new().sweep(std::hint::black_box(&spec)).unwrap())
+    });
+    let engine = Estimator::new();
+    engine.sweep(&spec).unwrap(); // prime the factory cache
+    group.bench_function("warm", |b| {
+        b.iter(|| engine.sweep(std::hint::black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_formula_eval,
     bench_distance_solver,
     bench_factory_search,
     bench_layout,
-    bench_full_estimate
+    bench_full_estimate,
+    bench_engine_sweep
 );
 criterion_main!(benches);

@@ -46,8 +46,7 @@ fn main() {
     let _ = writeln!(out, "{}", "-".repeat(88));
 
     for (log_share, t_share, label) in splits {
-        let budget =
-            ErrorBudget::from_parts(total * log_share, total * t_share, 0.0).unwrap();
+        let budget = ErrorBudget::from_parts(total * log_share, total * t_share, 0.0).unwrap();
         let est = PhysicalResourceEstimation {
             counts,
             qubit: qubit.clone(),

@@ -10,8 +10,8 @@
 
 use qre_arith::{multiplication_counts, MulAlgorithm};
 use qre_core::{
-    estimate_frontier, format_duration_ns, group_digits, Constraints, ErrorBudget,
-    PhysicalQubit, PhysicalResourceEstimation, QecScheme, TFactoryBuilder,
+    estimate_frontier, format_duration_ns, group_digits, Constraints, ErrorBudget, PhysicalQubit,
+    PhysicalResourceEstimation, QecScheme, TFactoryBuilder,
 };
 use std::io::Write as _;
 

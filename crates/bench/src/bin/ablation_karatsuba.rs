@@ -24,11 +24,8 @@ fn main() {
 
     // Cutoff sweep at 4096 bits: where does Karatsuba beat schoolbook?
     let bits = 4096usize;
-    let school = multiplication_counts_with(
-        MulAlgorithm::Schoolbook,
-        bits,
-        MulWorkloadConfig::default(),
-    );
+    let school =
+        multiplication_counts_with(MulAlgorithm::Schoolbook, bits, MulWorkloadConfig::default());
     let school_est = estimate_counts(
         MulAlgorithm::Schoolbook,
         bits,
@@ -66,8 +63,8 @@ fn main() {
                 1e-4,
             )
             .unwrap();
-            let ratio = r.result.physical_counts.runtime_ns
-                / school_est.result.physical_counts.runtime_ns;
+            let ratio =
+                r.result.physical_counts.runtime_ns / school_est.result.physical_counts.runtime_ns;
             let _ = writeln!(
                 out,
                 "{:>8} {:>9} {:>16} {:>12} {:>17.2}x",

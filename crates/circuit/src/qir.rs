@@ -316,7 +316,9 @@ fn decode_op(op: &str, args: &[String], line_no: usize) -> Result<Decoded, QirEr
         }
         ("mresetz", false) => {
             if args.is_empty() || args.len() > 2 {
-                return Err(err("`mresetz` expects 1 qubit and an optional result".into()));
+                return Err(err(
+                    "`mresetz` expects 1 qubit and an optional result".into()
+                ));
             }
             if args.len() == 2 {
                 parse_result_arg(&args[1], line_no)?;
@@ -451,11 +453,10 @@ entry:
 
     #[test]
     fn rejects_unknown_ops_and_bad_arity() {
-        let err = parse_qir("call void @__quantum__qis__frobnicate__body(%Qubit* null)")
-            .unwrap_err();
-        assert!(err.message.contains("unknown"), "{err}");
         let err =
-            parse_qir("call void @__quantum__qis__cnot__body(%Qubit* null)").unwrap_err();
+            parse_qir("call void @__quantum__qis__frobnicate__body(%Qubit* null)").unwrap_err();
+        assert!(err.message.contains("unknown"), "{err}");
+        let err = parse_qir("call void @__quantum__qis__cnot__body(%Qubit* null)").unwrap_err();
         assert!(err.message.contains("expects 2"), "{err}");
         let err = parse_qir("call void @__quantum__qis__h__ctl(%Qubit* null)").unwrap_err();
         assert!(err.message.contains("variant"), "{err}");
@@ -517,10 +518,8 @@ entry:
 
     #[test]
     fn result_ids_validated() {
-        let err = parse_qir(
-            "call void @__quantum__qis__mz__body(%Qubit* null, %Qubit* null)",
-        )
-        .unwrap_err();
+        let err = parse_qir("call void @__quantum__qis__mz__body(%Qubit* null, %Qubit* null)")
+            .unwrap_err();
         assert!(err.message.contains("%Result*"), "{err}");
     }
 }

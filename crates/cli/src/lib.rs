@@ -21,6 +21,28 @@
 //! QIR-lite text (Section IV-B.2), or a built-in multiplication workload
 //! (Section V). Hardware profiles are the six defaults, optionally with
 //! field overrides. `estimateType` is `"single"` (default) or `"frontier"`.
+//!
+//! Beyond single jobs, a submission can be a **batch** (`{"items": [job,
+//! ...]}`, the service's job arrays) or a **sweep** declaring axes whose
+//! cartesian product the engine expands:
+//!
+//! ```json
+//! {
+//!   "sweep": {
+//!     "algorithms": [ { "multiplication": { "algorithm": "windowed", "bits": 2048 } } ],
+//!     "qubitParams": [ { "name": "qubit_gate_ns_e3" }, { "name": "qubit_maj_ns_e4" } ],
+//!     "qecSchemes": [ { "name": "default" } ],
+//!     "errorBudgets": [ 1e-4 ],
+//!     "constraints": [ {} ]
+//!   }
+//! }
+//! ```
+//!
+//! Batches and sweeps execute in parallel through one [`qre_core::Estimator`]
+//! engine (shared T-factory cache); failing items report their error in
+//! place instead of failing the submission. Unknown top-level fields are
+//! rejected with an error naming the field and the accepted set, so typos
+//! like `"errorBudgets"` in a single job never pass silently.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -28,7 +50,8 @@
 use qre_arith::MulAlgorithm;
 use qre_circuit::{qir, LogicalCounts};
 use qre_core::{
-    EstimationJob, EstimationJobBuilder, PhysicalQubit, QecSchemeKind,
+    Constraints, ErrorBudget, EstimationJob, EstimationJobBuilder, Estimator, PhysicalQubit,
+    QecSchemeKind, SweepScheme, SweepSpec,
 };
 use qre_json::{ObjectBuilder, Value};
 
@@ -41,20 +64,47 @@ pub struct JobSpec {
     pub frontier: bool,
 }
 
-/// A parsed submission: a single job or a batch (`{"items": [job, ...]}`),
-/// mirroring the service's job-array submissions.
+/// A parsed submission: a single job, a batch (`{"items": [job, ...]}`)
+/// mirroring the service's job-array submissions, or a declared sweep
+/// (`{"sweep": {...}}`).
 #[derive(Debug)]
 pub enum Submission {
     /// One job.
-    Single(JobSpec),
-    /// A batch of independent jobs, estimated in submission order.
+    Single(Box<JobSpec>),
+    /// A batch of independent jobs, executed in parallel with outcomes in
+    /// submission order.
     Batch(Vec<JobSpec>),
+    /// A declared cartesian sweep, expanded and executed by the engine.
+    Sweep(Box<SweepSpec>),
 }
 
-/// Parse a submission: either a single job object or `{"items": [...]}`.
+/// Reject unknown object fields, naming the offender and the accepted set.
+fn check_fields(v: &Value, context: &str, accepted: &[&str]) -> Result<(), String> {
+    let Some(obj) = v.as_object() else {
+        return Ok(());
+    };
+    for (key, _) in obj {
+        if !accepted.contains(&key.as_str()) {
+            let place = if context.is_empty() {
+                String::new()
+            } else {
+                format!(" in `{context}`")
+            };
+            return Err(format!(
+                "unknown field `{key}`{place}; accepted fields: {}",
+                accepted.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parse a submission: a single job object, `{"items": [...]}`, or
+/// `{"sweep": {...}}`.
 pub fn parse_submission(text: &str) -> Result<Submission, String> {
     let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
     if let Some(items) = doc.get("items") {
+        check_fields(&doc, "", &["items"])?;
         let items = items
             .as_array()
             .ok_or("`items` must be an array of job objects")?;
@@ -63,39 +113,92 @@ pub fn parse_submission(text: &str) -> Result<Submission, String> {
         }
         let mut jobs = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            let spec = parse_job(&item.to_string_compact())
-                .map_err(|e| format!("items[{i}]: {e}"))?;
+            let spec =
+                parse_job(&item.to_string_compact()).map_err(|e| format!("items[{i}]: {e}"))?;
             jobs.push(spec);
         }
         return Ok(Submission::Batch(jobs));
     }
-    parse_job(text).map(Submission::Single)
+    if let Some(sweep) = doc.get("sweep") {
+        check_fields(&doc, "", &["sweep"])?;
+        return parse_sweep(sweep).map(|s| Submission::Sweep(Box::new(s)));
+    }
+    parse_job(text).map(|spec| Submission::Single(Box::new(spec)))
 }
 
-/// Run a submission: a single result object, or `{"items": [...]}` for a
-/// batch. Batch items that fail estimation report their error in place
-/// instead of failing the whole submission.
+/// Run a submission through a fresh engine: a single result object,
+/// `{"items": [...]}` for a batch, or `{"estimateType": "sweep", "items":
+/// [...]}` for a sweep. Batch and sweep items that fail estimation report
+/// their error in place instead of failing the whole submission.
 pub fn run_submission(submission: &Submission) -> Result<Value, String> {
+    let engine = Estimator::new();
     match submission {
-        Submission::Single(spec) => run_job(spec),
+        Submission::Single(spec) => run_job_via(&engine, spec),
         Submission::Batch(jobs) => {
-            let items: Vec<Value> = jobs
-                .iter()
-                .map(|spec| match run_job(spec) {
+            // One parallel pass over the whole array; every item shares the
+            // engine's factory cache.
+            let items: Vec<Value> =
+                qre_par::parallel_map(jobs, |spec| match run_job_via(&engine, spec) {
                     Ok(v) => v,
                     Err(e) => ObjectBuilder::new()
                         .field("status", "error")
                         .field("message", e)
                         .build(),
-                })
-                .collect();
+                });
             Ok(ObjectBuilder::new()
                 .field("status", "success")
                 .field("items", Value::Array(items))
                 .build())
         }
+        Submission::Sweep(spec) => {
+            let outcomes = engine.sweep(spec).map_err(|e| e.to_string())?;
+            let items: Vec<Value> = outcomes
+                .into_iter()
+                .map(|o| {
+                    let c = &o.point.constraints;
+                    let constraints = ObjectBuilder::new()
+                        .field_opt("logicalDepthFactor", c.logical_depth_factor)
+                        .field_opt("maxTFactories", c.max_t_factories)
+                        .field_opt("maxDurationNs", c.max_duration_ns)
+                        .field_opt("maxPhysicalQubits", c.max_physical_qubits)
+                        .build();
+                    let base = ObjectBuilder::new()
+                        .field("index", o.point.index as u64)
+                        .field("workload", o.point.workload.as_str())
+                        .field("profile", o.point.profile.as_str())
+                        .field("qecScheme", o.point.scheme.as_str())
+                        .field("errorBudget", o.point.budget.total())
+                        .field("constraints", constraints);
+                    match o.outcome {
+                        Ok(result) => base
+                            .field("status", "success")
+                            .field("result", result.to_json())
+                            .build(),
+                        Err(e) => base
+                            .field("status", "error")
+                            .field("message", e.to_string())
+                            .build(),
+                    }
+                })
+                .collect();
+            Ok(ObjectBuilder::new()
+                .field("status", "success")
+                .field("estimateType", "sweep")
+                .field("items", Value::Array(items))
+                .build())
+        }
     }
 }
+
+/// Accepted top-level fields of a single job document.
+const JOB_FIELDS: &[&str] = &[
+    "algorithm",
+    "qubitParams",
+    "qecScheme",
+    "errorBudget",
+    "constraints",
+    "estimateType",
+];
 
 /// Parse and validate a JSON job document.
 pub fn parse_job(text: &str) -> Result<JobSpec, String> {
@@ -103,6 +206,7 @@ pub fn parse_job(text: &str) -> Result<JobSpec, String> {
     if doc.as_object().is_none() {
         return Err("job specification must be a JSON object".into());
     }
+    check_fields(&doc, "", JOB_FIELDS)?;
 
     let counts = parse_algorithm(
         doc.get("algorithm")
@@ -122,6 +226,7 @@ pub fn parse_job(text: &str) -> Result<JobSpec, String> {
             if let Some(total) = v.as_f64() {
                 builder.total_error_budget(total)
             } else if v.as_object().is_some() {
+                check_fields(v, "errorBudget", &["logical", "tStates", "rotations"])?;
                 let part = |name: &str| -> Result<f64, String> {
                     v.get(name)
                         .map(|x| {
@@ -139,26 +244,18 @@ pub fn parse_job(text: &str) -> Result<JobSpec, String> {
     };
 
     if let Some(c) = doc.get("constraints") {
-        if c.as_object().is_none() {
-            return Err("`constraints` must be an object".into());
+        let parsed = parse_constraints(c)?;
+        if let Some(v) = parsed.logical_depth_factor {
+            builder = builder.logical_depth_factor(v);
         }
-        if let Some(v) = c.get("logicalDepthFactor") {
-            builder = builder.logical_depth_factor(
-                v.as_f64().ok_or("logicalDepthFactor must be a number")?,
-            );
+        if let Some(v) = parsed.max_t_factories {
+            builder = builder.max_t_factories(v);
         }
-        if let Some(v) = c.get("maxTFactories") {
-            builder =
-                builder.max_t_factories(v.as_u64().ok_or("maxTFactories must be an integer")?);
+        if let Some(v) = parsed.max_duration_ns {
+            builder = builder.max_duration_ns(v);
         }
-        if let Some(v) = c.get("maxDurationNs") {
-            builder =
-                builder.max_duration_ns(v.as_f64().ok_or("maxDurationNs must be a number")?);
-        }
-        if let Some(v) = c.get("maxPhysicalQubits") {
-            builder = builder.max_physical_qubits(
-                v.as_u64().ok_or("maxPhysicalQubits must be an integer")?,
-            );
+        if let Some(v) = parsed.max_physical_qubits {
+            builder = builder.max_physical_qubits(v);
         }
     }
 
@@ -172,7 +269,153 @@ pub fn parse_job(text: &str) -> Result<JobSpec, String> {
     Ok(JobSpec { job, frontier })
 }
 
+/// Parse a `constraints` object.
+fn parse_constraints(c: &Value) -> Result<Constraints, String> {
+    if c.as_object().is_none() {
+        return Err("`constraints` must be an object".into());
+    }
+    check_fields(
+        c,
+        "constraints",
+        &[
+            "logicalDepthFactor",
+            "maxTFactories",
+            "maxDurationNs",
+            "maxPhysicalQubits",
+        ],
+    )?;
+    let mut out = Constraints::default();
+    if let Some(v) = c.get("logicalDepthFactor") {
+        out.logical_depth_factor = Some(v.as_f64().ok_or("logicalDepthFactor must be a number")?);
+    }
+    if let Some(v) = c.get("maxTFactories") {
+        out.max_t_factories = Some(v.as_u64().ok_or("maxTFactories must be an integer")?);
+    }
+    if let Some(v) = c.get("maxDurationNs") {
+        out.max_duration_ns = Some(v.as_f64().ok_or("maxDurationNs must be a number")?);
+    }
+    if let Some(v) = c.get("maxPhysicalQubits") {
+        out.max_physical_qubits = Some(v.as_u64().ok_or("maxPhysicalQubits must be an integer")?);
+    }
+    Ok(out)
+}
+
+/// Parse the `sweep` object into a [`SweepSpec`].
+fn parse_sweep(v: &Value) -> Result<SweepSpec, String> {
+    if v.as_object().is_none() {
+        return Err("`sweep` must be an object".into());
+    }
+    check_fields(
+        v,
+        "sweep",
+        &[
+            "algorithms",
+            "qubitParams",
+            "qecSchemes",
+            "errorBudgets",
+            "constraints",
+        ],
+    )?;
+
+    let algorithms = v
+        .get("algorithms")
+        .ok_or("`sweep` requires an `algorithms` array")?
+        .as_array()
+        .ok_or("`sweep.algorithms` must be an array")?;
+    if algorithms.is_empty() {
+        return Err("`sweep.algorithms` must contain at least one algorithm".into());
+    }
+    let mut spec = SweepSpec::new();
+    for (i, alg) in algorithms.iter().enumerate() {
+        let counts = parse_algorithm(alg).map_err(|e| format!("algorithms[{i}]: {e}"))?;
+        spec = spec.workload(algorithm_label(alg, i), counts);
+    }
+
+    match v.get("qubitParams") {
+        None => {
+            // The paper's Figure 4 default: all six profiles.
+            spec = spec.profiles(PhysicalQubit::default_profiles());
+        }
+        Some(list) => {
+            let list = list
+                .as_array()
+                .ok_or("`sweep.qubitParams` must be an array")?;
+            if list.is_empty() {
+                return Err("`sweep.qubitParams` must contain at least one profile".into());
+            }
+            for (i, q) in list.iter().enumerate() {
+                let qubit =
+                    parse_qubit_params(Some(q)).map_err(|e| format!("qubitParams[{i}]: {e}"))?;
+                spec = spec.profile(qubit);
+            }
+        }
+    }
+
+    if let Some(list) = v.get("qecSchemes") {
+        let list = list
+            .as_array()
+            .ok_or("`sweep.qecSchemes` must be an array")?;
+        for (i, s) in list.iter().enumerate() {
+            let scheme = match s.get("name").and_then(Value::as_str) {
+                Some("default") => SweepScheme::ProfileDefault,
+                Some("surface_code") => SweepScheme::Kind(QecSchemeKind::SurfaceCode),
+                Some("floquet_code") => SweepScheme::Kind(QecSchemeKind::FloquetCode),
+                Some(other) => {
+                    return Err(format!("qecSchemes[{i}]: unknown QEC scheme `{other}`"))
+                }
+                None => return Err(format!("qecSchemes[{i}]: `qecScheme` requires a `name`")),
+            };
+            spec = spec.scheme(scheme);
+        }
+    }
+
+    if let Some(list) = v.get("errorBudgets") {
+        let list = list
+            .as_array()
+            .ok_or("`sweep.errorBudgets` must be an array")?;
+        for (i, b) in list.iter().enumerate() {
+            let total = b
+                .as_f64()
+                .ok_or_else(|| format!("errorBudgets[{i}] must be a number"))?;
+            let budget =
+                ErrorBudget::from_total(total).map_err(|e| format!("errorBudgets[{i}]: {e}"))?;
+            spec = spec.budget(budget);
+        }
+    }
+
+    if let Some(list) = v.get("constraints") {
+        let list = list
+            .as_array()
+            .ok_or("`sweep.constraints` must be an array of constraint objects")?;
+        for (i, c) in list.iter().enumerate() {
+            let parsed = parse_constraints(c).map_err(|e| format!("constraints[{i}]: {e}"))?;
+            spec = spec.constraint(parsed);
+        }
+    }
+
+    Ok(spec)
+}
+
+/// Human-readable workload label for a sweep's algorithm entry.
+fn algorithm_label(v: &Value, index: usize) -> String {
+    if let Some(m) = v.get("multiplication") {
+        let alg = m
+            .get("algorithm")
+            .and_then(Value::as_str)
+            .unwrap_or("multiplication");
+        match m.get("bits").and_then(Value::as_u64) {
+            Some(bits) => format!("{alg}/{bits}"),
+            None => alg.to_string(),
+        }
+    } else if v.get("qir").is_some() {
+        format!("qir[{index}]")
+    } else {
+        format!("logicalCounts[{index}]")
+    }
+}
+
 fn parse_algorithm(v: &Value) -> Result<LogicalCounts, String> {
+    check_fields(v, "algorithm", &["logicalCounts", "qir", "multiplication"])?;
     if let Some(counts) = v.get("logicalCounts") {
         return LogicalCounts::from_json(counts);
     }
@@ -185,6 +428,7 @@ fn parse_algorithm(v: &Value) -> Result<LogicalCounts, String> {
         return Ok(counts);
     }
     if let Some(m) = v.get("multiplication") {
+        check_fields(m, "multiplication", &["algorithm", "bits"])?;
         let alg = match m.get("algorithm").and_then(Value::as_str) {
             Some("standard" | "schoolbook") => MulAlgorithm::Schoolbook,
             Some("karatsuba") => MulAlgorithm::Karatsuba,
@@ -211,9 +455,28 @@ fn parse_qubit_params(v: Option<&Value>) -> Result<PhysicalQubit, String> {
     if v.as_object().is_none() {
         return Err("`qubitParams` must be an object".into());
     }
+    check_fields(
+        v,
+        "qubitParams",
+        &[
+            "name",
+            "oneQubitGateTimeNs",
+            "twoQubitGateTimeNs",
+            "oneQubitMeasurementTimeNs",
+            "twoQubitMeasurementTimeNs",
+            "tGateTimeNs",
+            "oneQubitGateError",
+            "twoQubitGateError",
+            "oneQubitMeasurementError",
+            "twoQubitMeasurementError",
+            "tGateError",
+            "idleError",
+        ],
+    )?;
     let mut qubit = match v.get("name").and_then(Value::as_str) {
-        Some(name) => PhysicalQubit::by_name(name)
-            .ok_or_else(|| format!("unknown qubit profile `{name}`"))?,
+        Some(name) => {
+            PhysicalQubit::by_name(name).ok_or_else(|| format!("unknown qubit profile `{name}`"))?
+        }
         None => PhysicalQubit::qubit_gate_ns_e3(),
     };
     // Field overrides (Section IV-C.1: "customize a subset of the
@@ -257,6 +520,7 @@ fn parse_qec(v: Option<&Value>) -> Result<QecSchemeKind, String> {
     let Some(v) = v else {
         return Ok(QecSchemeKind::SurfaceCode);
     };
+    check_fields(v, "qecScheme", &["name"])?;
     match v.get("name").and_then(Value::as_str) {
         None => Err("`qecScheme` requires a `name`".into()),
         Some("surface_code") => Ok(QecSchemeKind::SurfaceCode),
@@ -268,8 +532,15 @@ fn parse_qec(v: Option<&Value>) -> Result<QecSchemeKind, String> {
 /// Run a job specification, producing the result JSON (a single result
 /// object, or a frontier array).
 pub fn run_job(spec: &JobSpec) -> Result<Value, String> {
+    run_job_via(&Estimator::new(), spec)
+}
+
+/// Run a job through a caller-owned engine, sharing its factory cache.
+fn run_job_via(engine: &Estimator, spec: &JobSpec) -> Result<Value, String> {
     if spec.frontier {
-        let points = spec.job.estimate_frontier().map_err(|e| e.to_string())?;
+        let points = engine
+            .frontier(spec.job.as_request())
+            .map_err(|e| e.to_string())?;
         let items: Vec<Value> = points
             .iter()
             .map(|p| {
@@ -285,7 +556,9 @@ pub fn run_job(spec: &JobSpec) -> Result<Value, String> {
             .field("frontier", Value::Array(items))
             .build())
     } else {
-        let result = spec.job.estimate().map_err(|e| e.to_string())?;
+        let result = engine
+            .estimate(spec.job.as_request())
+            .map_err(|e| e.to_string())?;
         Ok(result.to_json())
     }
 }
@@ -313,12 +586,13 @@ mod tests {
         assert!(!spec.frontier);
         let out = run_job(&spec).unwrap();
         assert_eq!(out.get("status").unwrap().as_str(), Some("success"));
-        assert!(out
-            .get_path("physicalCounts.physicalQubits")
-            .unwrap()
-            .as_u64()
-            .unwrap()
-            > 0);
+        assert!(
+            out.get_path("physicalCounts.physicalQubits")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]
@@ -349,7 +623,13 @@ mod tests {
         }"#;
         let spec = parse_job(job).unwrap();
         let out = run_job(&spec).unwrap();
-        assert!(out.get_path("breakdown.numTstates").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            out.get_path("breakdown.numTstates")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]
@@ -396,7 +676,13 @@ mod tests {
             "constraints": { "maxTFactories": 2 }
         }"#;
         let out = run_job(&parse_job(job).unwrap()).unwrap();
-        assert!(out.get_path("breakdown.numTfactories").unwrap().as_u64().unwrap() <= 2);
+        assert!(
+            out.get_path("breakdown.numTfactories")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                <= 2
+        );
     }
 
     #[test]
@@ -422,12 +708,16 @@ mod tests {
             "algorithm": { "logicalCounts": { "numQubits": 5 } },
             "qubitParams": { "name": "qubit_unobtainium" }
         }"#;
-        assert!(parse_job(bad_profile).unwrap_err().contains("unknown qubit profile"));
+        assert!(parse_job(bad_profile)
+            .unwrap_err()
+            .contains("unknown qubit profile"));
         let bad_scheme = r#"{
             "algorithm": { "logicalCounts": { "numQubits": 5 } },
             "qecScheme": { "name": "wormhole_code" }
         }"#;
-        assert!(parse_job(bad_scheme).unwrap_err().contains("unknown QEC scheme"));
+        assert!(parse_job(bad_scheme)
+            .unwrap_err()
+            .contains("unknown QEC scheme"));
         let bad_type = r#"{
             "algorithm": { "logicalCounts": { "numQubits": 5 } },
             "estimateType": "quantum"
@@ -498,5 +788,129 @@ mod tests {
         let spec = parse_job(COUNTS_JOB).unwrap();
         let report = run_job_report(&spec).unwrap();
         assert!(report.contains("Physical resource estimates"));
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_rejected() {
+        // The classic typo: plural `errorBudgets` on a single job.
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "errorBudgets": [0.001]
+        }"#;
+        let err = parse_job(job).unwrap_err();
+        assert!(err.contains("errorBudgets"), "{err}");
+        assert!(err.contains("accepted fields"), "{err}");
+        assert!(err.contains("errorBudget"), "{err}");
+    }
+
+    #[test]
+    fn unknown_nested_fields_are_rejected() {
+        let bad_constraint = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "constraints": { "maxTFactory": 2 }
+        }"#;
+        let err = parse_job(bad_constraint).unwrap_err();
+        assert!(
+            err.contains("maxTFactory") && err.contains("maxTFactories"),
+            "{err}"
+        );
+
+        let bad_qubit = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "qubitParams": { "name": "qubit_gate_ns_e3", "tGateErr": 1e-4 }
+        }"#;
+        let err = parse_job(bad_qubit).unwrap_err();
+        assert!(
+            err.contains("tGateErr") && err.contains("tGateError"),
+            "{err}"
+        );
+
+        let err = parse_submission(r#"{ "items": [], "extra": 1 }"#).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn sweep_submission_expands_and_runs() {
+        let sweep = r#"{ "sweep": {
+            "algorithms": [ { "multiplication": { "algorithm": "windowed", "bits": 64 } } ],
+            "qubitParams": [ { "name": "qubit_gate_ns_e3" }, { "name": "qubit_maj_ns_e4" } ],
+            "errorBudgets": [ 1e-4 ]
+        } }"#;
+        let submission = parse_submission(sweep).unwrap();
+        assert!(matches!(submission, Submission::Sweep(_)));
+        let out = run_submission(&submission).unwrap();
+        assert_eq!(out.get("estimateType").unwrap().as_str(), Some("sweep"));
+        let items = out.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0].get("workload").unwrap().as_str(),
+            Some("windowed/64")
+        );
+        assert_eq!(
+            items[0].get("profile").unwrap().as_str(),
+            Some("qubit_gate_ns_e3")
+        );
+        // The profile-default pairing resolved per item.
+        assert_eq!(
+            items[0].get("qecScheme").unwrap().as_str(),
+            Some("surface_code")
+        );
+        assert_eq!(
+            items[1].get("qecScheme").unwrap().as_str(),
+            Some("floquet_code")
+        );
+        for item in items {
+            assert_eq!(item.get("status").unwrap().as_str(), Some("success"));
+            assert!(
+                item.get_path("result.physicalCounts.physicalQubits")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+                    > 0
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_defaults_to_all_profiles() {
+        let sweep = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ]
+        } }"#;
+        let out = run_submission(&parse_submission(sweep).unwrap()).unwrap();
+        assert_eq!(out.get("items").unwrap().as_array().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sweep_reports_item_errors_in_place() {
+        // Floquet on gate-based hardware fails that item only.
+        let sweep = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ],
+            "qubitParams": [ { "name": "qubit_gate_ns_e3" }, { "name": "qubit_maj_ns_e4" } ],
+            "qecSchemes": [ { "name": "floquet_code" } ]
+        } }"#;
+        let out = run_submission(&parse_submission(sweep).unwrap()).unwrap();
+        let items = out.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items[0].get("status").unwrap().as_str(), Some("error"));
+        assert!(items[0]
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("Majorana"));
+        assert_eq!(items[1].get("status").unwrap().as_str(), Some("success"));
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_and_missing_fields() {
+        let err = parse_submission(r#"{ "sweep": { "algorithm": [] } }"#).unwrap_err();
+        assert!(err.contains("algorithms"), "{err}");
+        let err = parse_submission(r#"{ "sweep": { "algorithms": [] } }"#).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = parse_submission(
+            r#"{ "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 2 } } ],
+                 "qecSchemes": [ { "name": "wormhole_code" } ] } }"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("wormhole_code"), "{err}");
     }
 }

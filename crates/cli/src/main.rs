@@ -76,6 +76,12 @@ fn main() -> ExitCode {
         let specs: Vec<&qre_cli::JobSpec> = match &submission {
             qre_cli::Submission::Single(spec) => vec![spec],
             qre_cli::Submission::Batch(jobs) => jobs.iter().collect(),
+            qre_cli::Submission::Sweep(_) => {
+                eprintln!(
+                    "--report supports single and batch submissions; use JSON output for sweeps"
+                );
+                return ExitCode::FAILURE;
+            }
         };
         for spec in specs {
             match qre_cli::run_job_report(spec) {

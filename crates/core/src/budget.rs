@@ -40,7 +40,10 @@ impl ErrorBudget {
         validate_part("logical budget", logical)?;
         // T-state and rotation parts may be zero for programs without the
         // corresponding operations, but must not be negative.
-        for (name, v) in [("tStates budget", t_states), ("rotations budget", rotations)] {
+        for (name, v) in [
+            ("tStates budget", t_states),
+            ("rotations budget", rotations),
+        ] {
             if !(v.is_finite() && (0.0..1.0).contains(&v)) {
                 return Err(Error::InvalidInput(format!(
                     "{name} must lie in [0, 1), got {v}"

@@ -1,0 +1,282 @@
+//! Memoized T-factory designs, shared across estimation runs.
+//!
+//! The distillation-pipeline search ([`TFactoryBuilder::find_factory`]) is
+//! the most expensive stage of an estimate, and the paper's workloads repeat
+//! it constantly: a hardware-profile sweep re-designs factories per profile,
+//! and the Pareto frontier re-runs the *same* design for every factory-copy
+//! cap. [`FactoryCache`] memoizes designs keyed by everything the search
+//! depends on — the physical qubit model's numeric parameters, the QEC
+//! scheme's constants and formula sources, the search configuration
+//! (distillation units, round/distance limits), and the required T-state
+//! output error — so a warm [`crate::Estimator`] skips the search entirely
+//! for repeated scenarios.
+//!
+//! Both successful designs and deterministic failures
+//! ([`Error::NoTFactory`]) are cached; the search is a pure function of the
+//! key. The cache is internally synchronized and safe to share across the
+//! worker threads of a parallel batch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::Result;
+use crate::physical_qubit::{InstructionSet, PhysicalQubit};
+use crate::qec::QecScheme;
+use crate::tfactory::{TFactory, TFactoryBuilder};
+
+/// Bit-exact fingerprint of one factory-design problem.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FactoryKey {
+    /// `f64::to_bits` / integer words of every numeric input, in a fixed
+    /// field order.
+    words: Vec<u64>,
+    /// Unit-separated concatenation of every textual input (unit names,
+    /// formula sources, instruction sets).
+    text: String,
+}
+
+/// Incremental [`FactoryKey`] builder.
+#[derive(Debug, Default)]
+struct KeyBuilder {
+    words: Vec<u64>,
+    text: String,
+}
+
+impl KeyBuilder {
+    fn f64(&mut self, v: f64) {
+        self.words.push(v.to_bits());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.text.push_str(s);
+        self.text.push('\u{1f}');
+    }
+
+    fn instruction_set(&mut self, set: InstructionSet) {
+        self.str(set.name());
+    }
+
+    fn finish(self) -> FactoryKey {
+        FactoryKey {
+            words: self.words,
+            text: self.text,
+        }
+    }
+}
+
+fn factory_key(
+    builder: &TFactoryBuilder,
+    qubit: &PhysicalQubit,
+    scheme: &QecScheme,
+    required: f64,
+) -> FactoryKey {
+    let mut k = KeyBuilder::default();
+    // Qubit model: every field the search reads. The profile name is
+    // cosmetic and deliberately excluded, so renamed-but-identical models
+    // share designs.
+    k.instruction_set(qubit.instruction_set);
+    k.f64(qubit.one_qubit_gate_time_ns);
+    k.f64(qubit.two_qubit_gate_time_ns);
+    k.f64(qubit.one_qubit_measurement_time_ns);
+    k.f64(qubit.two_qubit_measurement_time_ns);
+    k.f64(qubit.t_gate_time_ns);
+    k.f64(qubit.one_qubit_gate_error);
+    k.f64(qubit.two_qubit_gate_error);
+    k.f64(qubit.one_qubit_measurement_error);
+    k.f64(qubit.two_qubit_measurement_error);
+    k.f64(qubit.t_gate_error);
+    k.f64(qubit.idle_error);
+    // QEC scheme: constants plus the formula *sources* (formulas are pure).
+    k.instruction_set(scheme.instruction_set);
+    k.f64(scheme.error_correction_threshold);
+    k.f64(scheme.crossing_prefactor);
+    k.str(scheme.logical_cycle_time.source());
+    k.str(scheme.physical_qubits_per_logical_qubit.source());
+    k.u64(u64::from(scheme.max_code_distance));
+    // Search configuration.
+    k.u64(builder.max_rounds as u64);
+    k.u64(u64::from(builder.max_code_distance));
+    k.u64(builder.units.len() as u64);
+    for unit in &builder.units {
+        // The unit name is part of the key: it appears verbatim in the
+        // realised factory's rounds, so same-shape units with different
+        // names must not share cache entries.
+        k.str(&unit.name);
+        k.u64(unit.num_input_ts);
+        k.u64(unit.num_output_ts);
+        k.str(unit.failure_probability.source());
+        k.str(unit.output_error_rate.source());
+        match &unit.physical {
+            Some(p) => {
+                k.u64(1);
+                k.u64(p.qubits);
+                k.u64(p.duration_cycles);
+            }
+            None => k.u64(0),
+        }
+        match &unit.logical {
+            Some(l) => {
+                k.u64(1);
+                k.u64(l.logical_qubits);
+                k.u64(l.duration_logical_cycles);
+            }
+            None => k.u64(0),
+        }
+        k.u64(u64::from(unit.first_round_only));
+    }
+    k.f64(required);
+    k.finish()
+}
+
+/// Hit/miss/size counters of a [`FactoryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full pipeline search.
+    pub misses: u64,
+    /// Distinct designs currently stored.
+    pub entries: usize,
+}
+
+/// Thread-safe memo table for T-factory pipeline searches.
+#[derive(Debug, Default)]
+pub struct FactoryCache {
+    designs: Mutex<HashMap<FactoryKey, Result<TFactory>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FactoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`TFactoryBuilder::find_factory`]: returns the cached design
+    /// (or cached deterministic failure) when the full problem fingerprint
+    /// matches, running the search otherwise.
+    pub fn find_factory(
+        &self,
+        builder: &TFactoryBuilder,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> Result<TFactory> {
+        let key = factory_key(builder, qubit, scheme, required);
+        if let Some(cached) = self.designs.lock().expect("factory cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        // Search outside the lock: concurrent misses on the same key may
+        // duplicate work once, but never block each other on the (long)
+        // pipeline search.
+        let designed = builder.find_factory(qubit, scheme, required);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.designs
+            .lock()
+            .expect("factory cache lock")
+            .insert(key, designed.clone());
+        designed
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.designs.lock().expect("factory cache lock").len(),
+        }
+    }
+
+    /// Drop every stored design and reset the counters.
+    pub fn clear(&self) {
+        self.designs.lock().expect("factory cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+
+    fn problem() -> (TFactoryBuilder, PhysicalQubit, QecScheme) {
+        (
+            TFactoryBuilder::default(),
+            PhysicalQubit::qubit_maj_ns_e4(),
+            QecScheme::floquet_code(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches_cold() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        let first = cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        let second = cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        let cold = b.find_factory(&q, &s, 1e-10).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, cold);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn distinct_requirements_are_distinct_entries() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        cache.find_factory(&b, &q, &s, 1e-11).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn qubit_parameters_invalidate_the_key() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        let mut q2 = q.clone();
+        q2.t_gate_error = 0.04;
+        cache.find_factory(&b, &q2, &s, 1e-10).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        // A rename alone, though, still hits.
+        let mut q3 = q.clone();
+        q3.name = "renamed".into();
+        cache.find_factory(&b, &q3, &s, 1e-10).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn failures_are_cached_too() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        for _ in 0..2 {
+            match cache.find_factory(&b, &q, &s, 1e-60) {
+                Err(Error::NoTFactory { .. }) => {}
+                other => panic!("expected NoTFactory, got {other:?}"),
+            }
+        }
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+}

@@ -1,0 +1,251 @@
+//! The estimation engine: one batch/sweep execution path with a shared,
+//! memoized T-factory cache.
+//!
+//! [`Estimator`] is the centre of the public API. Every consumer — the
+//! one-shot [`crate::EstimationJob`] wrapper, the CLI's job arrays and sweep
+//! form, the figure harness, and the qubit/runtime frontier — funnels into
+//! [`Estimator::estimate_batch`], which executes items in parallel via
+//! [`qre_par::parallel_map`] and returns order-preserving outcomes with
+//! per-item errors reported in place rather than aborting the batch.
+//!
+//! The engine owns a [`FactoryCache`]: the expensive distillation-pipeline
+//! search is memoized across every estimate the engine runs, so repeated
+//! scenarios (a profile sweep re-run, the frontier's dozens of re-estimates
+//! of one scenario, identical batch items) skip the search entirely.
+
+use crate::cache::{CacheStats, FactoryCache};
+use crate::error::{Error, Result};
+use crate::estimate::PhysicalResourceEstimation;
+use crate::frontier::{estimate_frontier_via, FrontierPoint};
+use crate::request::{EstimateRequest, SweepPoint, SweepSpec};
+use crate::result::EstimationResult;
+
+/// A reusable estimation session: parallel batch/sweep execution over a
+/// shared memoized T-factory cache.
+///
+/// ```
+/// use qre_core::{Estimator, EstimateRequest, PhysicalQubit, QecSchemeKind};
+/// use qre_circuit::LogicalCounts;
+///
+/// let counts = LogicalCounts::builder()
+///     .logical_qubits(50)
+///     .t_gates(10_000)
+///     .measurements(5_000)
+///     .build();
+/// let request = EstimateRequest::builder()
+///     .counts(counts)
+///     .profile(PhysicalQubit::qubit_gate_ns_e3())
+///     .qec(QecSchemeKind::SurfaceCode)
+///     .total_error_budget(1e-3)
+///     .build()
+///     .unwrap();
+/// let engine = Estimator::new();
+/// let result = engine.estimate(&request).unwrap();
+/// assert!(result.physical_counts.physical_qubits > 0);
+/// // A repeated estimate hits the factory cache.
+/// engine.estimate(&request).unwrap();
+/// assert!(engine.cache_stats().hits >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Estimator {
+    cache: FactoryCache,
+}
+
+/// Outcome of one batch item, in input order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Position of the request in the submitted slice.
+    pub index: usize,
+    /// The request's label.
+    pub label: String,
+    /// The item's result; failures are reported here without affecting
+    /// sibling items.
+    pub outcome: Result<EstimationResult>,
+}
+
+/// Outcome of one sweep item, in expansion (row-major) order.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The item's axis coordinates.
+    pub point: SweepPoint,
+    /// The item's result; failures are reported here without affecting
+    /// sibling items.
+    pub outcome: Result<EstimationResult>,
+}
+
+impl Estimator {
+    /// A fresh engine with an empty factory cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimate one request through the shared cache.
+    pub fn estimate(&self, request: &EstimateRequest) -> Result<EstimationResult> {
+        request.estimation.estimate_with(&self.cache)
+    }
+
+    /// Estimate many independent requests in parallel. Outcomes come back in
+    /// input order; a failing item reports its error in place.
+    pub fn estimate_batch(&self, requests: &[EstimateRequest]) -> Vec<BatchOutcome> {
+        qre_par::parallel_map_indexed(requests, |index, request| BatchOutcome {
+            index,
+            label: request.label.clone(),
+            outcome: self.estimate(request),
+        })
+    }
+
+    /// Expand a sweep's cartesian product and estimate every item in
+    /// parallel. Outcomes come back in expansion (row-major) order with
+    /// per-item errors in place; only an empty mandatory axis fails the
+    /// whole sweep.
+    pub fn sweep(&self, spec: &SweepSpec) -> Result<Vec<SweepOutcome>> {
+        let items = spec.expand()?;
+        Ok(qre_par::parallel_map(&items, |(point, estimation)| {
+            SweepOutcome {
+                point: point.clone(),
+                outcome: match estimation {
+                    Ok(est) => est.estimate_with(&self.cache),
+                    Err(e) => Err(e.clone()),
+                },
+            }
+        }))
+    }
+
+    /// Explore the qubit/runtime frontier of one request through the shared
+    /// cache: the factory design is computed once and reused by every
+    /// factory-cap re-estimate.
+    pub fn frontier(&self, request: &EstimateRequest) -> Result<Vec<FrontierPoint>> {
+        estimate_frontier_via(self, &request.estimation)
+    }
+
+    /// Like [`Estimator::frontier`], for an already-assembled estimation.
+    pub fn frontier_of(
+        &self,
+        estimation: &PhysicalResourceEstimation,
+    ) -> Result<Vec<FrontierPoint>> {
+        estimate_frontier_via(self, estimation)
+    }
+
+    /// Hit/miss/size counters of the factory cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached factory design.
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// The underlying cache (for advanced composition).
+    pub fn cache(&self) -> &FactoryCache {
+        &self.cache
+    }
+}
+
+/// Split batch outcomes into ordered successes, keeping the first error
+/// together with the index of the item that produced it.
+///
+/// Convenience for callers that want all-or-nothing semantics on top of the
+/// in-place error reporting; the index identifies the failing request for
+/// every error kind, not just message-bearing ones.
+pub fn collect_results(
+    outcomes: Vec<BatchOutcome>,
+) -> std::result::Result<Vec<EstimationResult>, (usize, Error)> {
+    outcomes
+        .into_iter()
+        .map(|o| o.outcome.map_err(|e| (o.index, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical_qubit::PhysicalQubit;
+    use crate::qec::QecSchemeKind;
+    use crate::request::SweepSpec;
+    use qre_circuit::LogicalCounts;
+
+    fn counts(t: u64) -> LogicalCounts {
+        LogicalCounts {
+            num_qubits: 40,
+            t_count: t,
+            measurement_count: 1_000,
+            ..Default::default()
+        }
+    }
+
+    fn request(t: u64) -> EstimateRequest {
+        EstimateRequest::builder()
+            .label(format!("t={t}"))
+            .counts(counts(t))
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .total_error_budget(1e-3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_outcomes_preserve_input_order() {
+        let requests: Vec<EstimateRequest> = (1..=16).map(|i| request(i * 1_000)).collect();
+        let engine = Estimator::new();
+        let outcomes = engine.estimate_batch(&requests);
+        assert_eq!(outcomes.len(), 16);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.label, format!("t={}", (i + 1) * 1_000));
+            let expected = requests[i].estimation.estimate().unwrap();
+            assert_eq!(*o.outcome.as_ref().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn batch_reports_errors_in_place() {
+        let mut bad = request(1_000);
+        bad.estimation.constraints.max_duration_ns = Some(1.0);
+        let requests = vec![request(1_000), bad, request(2_000)];
+        let engine = Estimator::new();
+        let outcomes = engine.estimate_batch(&requests);
+        assert!(outcomes[0].outcome.is_ok());
+        assert!(matches!(
+            outcomes[1].outcome,
+            Err(Error::ConstraintViolated(_))
+        ));
+        assert!(outcomes[2].outcome.is_ok());
+        let (index, err) = collect_results(outcomes).unwrap_err();
+        assert_eq!(index, 1);
+        assert!(matches!(err, Error::ConstraintViolated(_)));
+    }
+
+    #[test]
+    fn sweep_shares_the_factory_cache() {
+        let spec = SweepSpec::new()
+            .workload("w", counts(10_000))
+            .profiles(PhysicalQubit::default_profiles())
+            .total_error_budget(1e-4);
+        let engine = Estimator::new();
+        let first = engine.sweep(&spec).unwrap();
+        let cold = engine.cache_stats();
+        assert_eq!(cold.hits, 0);
+        assert!(cold.misses >= 6);
+        let second = engine.sweep(&spec).unwrap();
+        let warm = engine.cache_stats();
+        assert_eq!(warm.misses, cold.misses, "warm sweep must not re-search");
+        assert!(warm.hits >= 6);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn frontier_runs_through_the_cache() {
+        let engine = Estimator::new();
+        let req = request(200_000);
+        let frontier = engine.frontier(&req).unwrap();
+        assert!(frontier.len() >= 2);
+        let stats = engine.cache_stats();
+        // One design problem, re-used by every cap in the sweep.
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= frontier.len() as u64 - 1);
+    }
+}

@@ -18,6 +18,7 @@
 //! distance is monotone and bounded).
 
 use crate::budget::ErrorBudget;
+use crate::cache::FactoryCache;
 use crate::error::{Error, Result};
 use crate::layout::{layout, LogicalLayout};
 use crate::physical_qubit::PhysicalQubit;
@@ -89,14 +90,25 @@ pub struct PhysicalResourceEstimation {
 }
 
 impl PhysicalResourceEstimation {
-    /// Run the full estimation flow.
+    /// Run the full estimation flow with a transient factory cache.
+    ///
+    /// Repeated or related estimates should run through a shared
+    /// [`crate::Estimator`] (or call [`Self::estimate_with`] with a shared
+    /// [`FactoryCache`]) so the expensive distillation-pipeline search is
+    /// amortized across them.
     pub fn estimate(&self) -> Result<EstimationResult> {
+        self.estimate_with(&FactoryCache::new())
+    }
+
+    /// Run the full estimation flow, memoizing the T-factory design search
+    /// through `cache`.
+    pub fn estimate_with(&self, cache: &FactoryCache) -> Result<EstimationResult> {
         self.qubit.validate()?;
         self.constraints.validate()?;
         let lay = layout(&self.counts, self.budget.rotations)?;
 
         // Stage independent of the distance loop: the T factory design.
-        let (factory, required_t_error, mut assumptions) = self.design_factory(&lay)?;
+        let (factory, required_t_error, mut assumptions) = self.design_factory(&lay, cache)?;
 
         // Iterate the coupled distance/factory-count stages to a fixed point.
         let solved = self.solve(&lay, factory.as_ref())?;
@@ -114,8 +126,7 @@ impl PhysicalResourceEstimation {
         }
 
         assumptions.extend(standard_assumptions());
-        let rqops =
-            lay.logical_qubits as f64 * solved.logical_qubit.logical_cycles_per_second();
+        let rqops = lay.logical_qubits as f64 * solved.logical_qubit.logical_cycles_per_second();
         Ok(EstimationResult {
             physical_counts: PhysicalCounts {
                 physical_qubits: solved.physical_qubits_algorithm
@@ -127,8 +138,7 @@ impl PhysicalResourceEstimation {
                 algorithmic_logical_qubits: lay.logical_qubits,
                 algorithmic_depth: lay.algorithmic_depth,
                 num_cycles: solved.num_cycles,
-                logical_depth_factor: solved.num_cycles as f64
-                    / lay.algorithmic_depth as f64,
+                logical_depth_factor: solved.num_cycles as f64 / lay.algorithmic_depth as f64,
                 clock_frequency_hz: solved.logical_qubit.logical_cycles_per_second(),
                 num_t_states: lay.t_states,
                 num_t_factories: solved.num_factories,
@@ -149,10 +159,12 @@ impl PhysicalResourceEstimation {
         })
     }
 
-    /// Decide whether distillation is needed and search the factory design.
+    /// Decide whether distillation is needed and search the factory design
+    /// (memoized through `cache`).
     fn design_factory(
         &self,
         lay: &LogicalLayout,
+        cache: &FactoryCache,
     ) -> Result<(Option<TFactory>, Option<f64>, Vec<String>)> {
         let mut assumptions = Vec::new();
         if lay.t_states == 0 {
@@ -171,9 +183,8 @@ impl PhysicalResourceEstimation {
             );
             return Ok((None, Some(required), assumptions));
         }
-        let factory = self
-            .factory_builder
-            .find_factory(&self.qubit, &self.scheme, required)?;
+        let factory =
+            cache.find_factory(&self.factory_builder, &self.qubit, &self.scheme, required)?;
         Ok((Some(factory), Some(required), assumptions))
     }
 
@@ -184,8 +195,8 @@ impl PhysicalResourceEstimation {
 
         for _ in 0..64 {
             let num_cycles = ((base_depth as f64) * depth_factor).ceil() as u64;
-            let required_logical = self.budget.logical
-                / (lay.logical_qubits as f64 * num_cycles as f64);
+            let required_logical =
+                self.budget.logical / (lay.logical_qubits as f64 * num_cycles as f64);
             let lq = self.scheme.logical_qubit(&self.qubit, required_logical)?;
             let runtime_ns = num_cycles as f64 * lq.cycle_time_ns;
 
@@ -221,8 +232,7 @@ impl PhysicalResourceEstimation {
                     // Stretch the runtime so `max_f` copies suffice.
                     let runs_per_needed = runs_needed.div_ceil(max_f);
                     let needed_runtime = runs_per_needed as f64 * factory.duration_ns;
-                    let needed_factor =
-                        needed_runtime / (base_depth as f64 * lq.cycle_time_ns);
+                    let needed_factor = needed_runtime / (base_depth as f64 * lq.cycle_time_ns);
                     if needed_factor > depth_factor * (1.0 + 1e-9) {
                         depth_factor = needed_factor;
                         continue;
@@ -539,7 +549,10 @@ mod tests {
             r.physical_counts.physical_qubits
         );
         assert_eq!(
-            doc.get_path("breakdown.numTfactories").unwrap().as_u64().unwrap(),
+            doc.get_path("breakdown.numTfactories")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             r.breakdown.num_t_factories
         );
         assert_eq!(doc.get("status").unwrap().as_str(), Some("success"));

@@ -7,11 +7,15 @@
 //! factory-copy cap from the unconstrained optimum down to one copy and
 //! returns the Pareto-optimal (physical qubits, runtime) points.
 //!
-//! The sweep's estimates are independent, so they run in parallel via
-//! `qre-par`.
+//! The cap sweep is expressed as a [`SweepSpec`] constraint axis and
+//! executed by [`Estimator::sweep`] — the same parallel, cache-backed path
+//! as every other batch workload — so the (expensive) T-factory design is
+//! searched once and shared by every cap re-estimate.
 
+use crate::engine::Estimator;
 use crate::error::Result;
 use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::request::{SweepScheme, SweepSpec};
 use crate::result::EstimationResult;
 
 /// One point on the qubit/runtime frontier.
@@ -23,15 +27,25 @@ pub struct FrontierPoint {
     pub result: EstimationResult,
 }
 
-/// Explore the qubit/runtime frontier.
+/// Explore the qubit/runtime frontier with a transient engine.
 ///
 /// Returns points sorted by descending physical qubits (i.e. ascending
 /// runtime), reduced to the Pareto frontier. For T-free programs the result
-/// is the single unconstrained estimate.
-pub fn estimate_frontier(
+/// is the single unconstrained estimate. Callers running several frontiers
+/// (or mixing frontiers with other estimates) should prefer
+/// [`Estimator::frontier`], which shares one factory cache across all of
+/// them.
+pub fn estimate_frontier(estimation: &PhysicalResourceEstimation) -> Result<Vec<FrontierPoint>> {
+    estimate_frontier_via(&Estimator::new(), estimation)
+}
+
+/// Frontier exploration through a caller-owned engine (the implementation
+/// behind [`Estimator::frontier`]).
+pub(crate) fn estimate_frontier_via(
+    engine: &Estimator,
     estimation: &PhysicalResourceEstimation,
 ) -> Result<Vec<FrontierPoint>> {
-    let base = estimation.estimate()?;
+    let base = estimation.estimate_with(engine.cache())?;
     let max_factories = base.breakdown.num_t_factories;
     if max_factories <= 1 {
         return Ok(vec![FrontierPoint {
@@ -53,21 +67,30 @@ pub fn estimate_frontier(
     }
     caps.push(max_factories);
 
-    let sweeps = qre_par::parallel_map(&caps, |&cap| {
-        let capped = PhysicalResourceEstimation {
-            constraints: Constraints {
-                max_t_factories: Some(cap),
-                ..estimation.constraints
-            },
-            ..estimation.clone()
-        };
-        capped.estimate().ok().map(|result| FrontierPoint {
-            max_t_factories: cap,
-            result,
-        })
-    });
+    // The cap axis as a sweep over one scenario; infeasible caps report
+    // their error in place and are dropped below.
+    let spec = SweepSpec::new()
+        .workload("frontier", estimation.counts)
+        .profile(estimation.qubit.clone())
+        .scheme(SweepScheme::Custom(estimation.scheme.clone()))
+        .budget(estimation.budget)
+        .constraint_axis(caps.iter().map(|&cap| Constraints {
+            max_t_factories: Some(cap),
+            ..estimation.constraints
+        }))
+        .factory_builder(estimation.factory_builder.clone());
+    let sweeps = engine.sweep(&spec)?;
 
-    let mut points: Vec<FrontierPoint> = sweeps.into_iter().flatten().collect();
+    let mut points: Vec<FrontierPoint> = caps
+        .into_iter()
+        .zip(sweeps)
+        .filter_map(|(cap, item)| {
+            item.outcome.ok().map(|result| FrontierPoint {
+                max_t_factories: cap,
+                result,
+            })
+        })
+        .collect();
     // Sort by descending qubits, then keep strictly improving runtimes.
     points.sort_by(|a, b| {
         b.result
@@ -160,5 +183,17 @@ mod tests {
         };
         let frontier = estimate_frontier(&est).unwrap();
         assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn engine_frontier_matches_free_function() {
+        let engine = Estimator::new();
+        let via_engine = engine.frontier_of(&estimation()).unwrap();
+        let via_free = estimate_frontier(&estimation()).unwrap();
+        assert_eq!(via_engine.len(), via_free.len());
+        for (a, b) in via_engine.iter().zip(&via_free) {
+            assert_eq!(a.max_t_factories, b.max_t_factories);
+            assert_eq!(a.result, b.result);
+        }
     }
 }

@@ -1,8 +1,12 @@
-//! The user-facing job API: assemble inputs, estimate, and explore.
+//! The one-shot job API: a thin compatibility wrapper over the
+//! [`crate::Estimator`] engine's [`EstimateRequest`].
 //!
 //! Mirrors the structure of the service's job submission (paper Section
 //! IV-A): an algorithm (as logical counts), a hardware profile, a QEC
-//! scheme, an error budget, and optional constraints.
+//! scheme, an error budget, and optional constraints. For repeated or
+//! related scenarios — profile sweeps, bit-width series, frontiers —
+//! prefer [`crate::Estimator`] with [`crate::SweepSpec`], which executes in
+//! parallel and amortizes the T-factory design search across items.
 //!
 //! ```
 //! use qre_core::{EstimationJob, HardwareProfile, QecSchemeKind};
@@ -24,20 +28,21 @@
 //! assert!(result.physical_counts.physical_qubits > 0);
 //! ```
 
-use crate::budget::ErrorBudget;
-use crate::error::{Error, Result};
-use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::error::Result;
+use crate::estimate::PhysicalResourceEstimation;
 use crate::frontier::{estimate_frontier, FrontierPoint};
 use crate::physical_qubit::PhysicalQubit;
 use crate::qec::{QecScheme, QecSchemeKind};
+use crate::request::{EstimateRequest, EstimateRequestBuilder};
 use crate::result::EstimationResult;
-use crate::tfactory::{DistillationUnit, TFactoryBuilder};
+use crate::tfactory::DistillationUnit;
 use qre_circuit::LogicalCounts;
 
-/// A fully assembled estimation job.
+/// A fully assembled estimation job: one [`EstimateRequest`] with one-shot
+/// convenience methods.
 #[derive(Debug, Clone)]
 pub struct EstimationJob {
-    inner: PhysicalResourceEstimation,
+    request: EstimateRequest,
 }
 
 impl EstimationJob {
@@ -48,175 +53,116 @@ impl EstimationJob {
 
     /// Run the estimation flow (Section III).
     pub fn estimate(&self) -> Result<EstimationResult> {
-        self.inner.estimate()
+        self.request.estimation.estimate()
     }
 
     /// Explore the qubit/runtime frontier (Section IV-C.4 trade-offs).
     pub fn estimate_frontier(&self) -> Result<Vec<FrontierPoint>> {
-        estimate_frontier(&self.inner)
+        estimate_frontier(&self.request.estimation)
     }
 
     /// The underlying estimation task (for advanced tweaking).
     pub fn as_estimation(&self) -> &PhysicalResourceEstimation {
-        &self.inner
+        &self.request.estimation
+    }
+
+    /// The job as an engine request (for [`crate::Estimator::estimate_batch`]).
+    pub fn as_request(&self) -> &EstimateRequest {
+        &self.request
+    }
+
+    /// Convert into an engine request.
+    pub fn into_request(self) -> EstimateRequest {
+        self.request
     }
 }
 
-/// QEC selection: a built-in kind or a fully custom scheme.
-#[derive(Debug, Clone)]
-enum QecChoice {
-    Kind(QecSchemeKind),
-    Custom(QecScheme),
-}
-
-/// Budget selection: total (split in thirds) or explicit parts.
-#[derive(Debug, Clone, Copy)]
-enum BudgetChoice {
-    Total(f64),
-    Parts { logical: f64, t_states: f64, rotations: f64 },
-}
-
-/// Builder for [`EstimationJob`].
+/// Builder for [`EstimationJob`] — the same surface as
+/// [`EstimateRequestBuilder`], kept for one-shot callers.
 #[derive(Debug, Clone, Default)]
 pub struct EstimationJobBuilder {
-    counts: Option<LogicalCounts>,
-    profile: Option<PhysicalQubit>,
-    qec: Option<QecChoice>,
-    budget: Option<BudgetChoice>,
-    constraints: Constraints,
-    distillation_units: Option<Vec<DistillationUnit>>,
-    max_factory_rounds: Option<usize>,
+    inner: EstimateRequestBuilder,
 }
 
 impl EstimationJobBuilder {
     /// The algorithm, as pre-layout logical counts (Section IV-B.3; counts
     /// from the circuit tracer or QIR front end plug in here too).
     pub fn counts(mut self, counts: LogicalCounts) -> Self {
-        self.counts = Some(counts);
+        self.inner = self.inner.counts(counts);
         self
     }
 
     /// The hardware profile (Section IV-C.1).
     pub fn profile(mut self, profile: PhysicalQubit) -> Self {
-        self.profile = Some(profile);
+        self.inner = self.inner.profile(profile);
         self
     }
 
     /// A built-in QEC scheme, resolved against the profile's instruction set.
     pub fn qec(mut self, kind: QecSchemeKind) -> Self {
-        self.qec = Some(QecChoice::Kind(kind));
+        self.inner = self.inner.qec(kind);
         self
     }
 
     /// A fully custom QEC scheme (Section IV-C.2).
     pub fn qec_custom(mut self, scheme: QecScheme) -> Self {
-        self.qec = Some(QecChoice::Custom(scheme));
+        self.inner = self.inner.qec_custom(scheme);
         self
     }
 
     /// Total error budget, split evenly across logical / T states /
     /// rotations (Section IV-C.3).
     pub fn total_error_budget(mut self, total: f64) -> Self {
-        self.budget = Some(BudgetChoice::Total(total));
+        self.inner = self.inner.total_error_budget(total);
         self
     }
 
     /// Explicit per-part error budgets.
     pub fn error_budget_parts(mut self, logical: f64, t_states: f64, rotations: f64) -> Self {
-        self.budget = Some(BudgetChoice::Parts {
-            logical,
-            t_states,
-            rotations,
-        });
+        self.inner = self.inner.error_budget_parts(logical, t_states, rotations);
         self
     }
 
     /// Logical-cycle slowdown factor (≥ 1; Section IV-C.4).
     pub fn logical_depth_factor(mut self, factor: f64) -> Self {
-        self.constraints.logical_depth_factor = Some(factor);
+        self.inner = self.inner.logical_depth_factor(factor);
         self
     }
 
     /// Cap on parallel T-factory copies (Section IV-C.4).
     pub fn max_t_factories(mut self, max: u64) -> Self {
-        self.constraints.max_t_factories = Some(max);
+        self.inner = self.inner.max_t_factories(max);
         self
     }
 
     /// Cap on total runtime in nanoseconds.
     pub fn max_duration_ns(mut self, max: f64) -> Self {
-        self.constraints.max_duration_ns = Some(max);
+        self.inner = self.inner.max_duration_ns(max);
         self
     }
 
     /// Cap on total physical qubits.
     pub fn max_physical_qubits(mut self, max: u64) -> Self {
-        self.constraints.max_physical_qubits = Some(max);
+        self.inner = self.inner.max_physical_qubits(max);
         self
     }
 
     /// Replace the distillation unit set (Section IV-C.5).
     pub fn distillation_units(mut self, units: Vec<DistillationUnit>) -> Self {
-        self.distillation_units = Some(units);
+        self.inner = self.inner.distillation_units(units);
         self
     }
 
     /// Cap the number of distillation rounds.
     pub fn max_factory_rounds(mut self, rounds: usize) -> Self {
-        self.max_factory_rounds = Some(rounds);
+        self.inner = self.inner.max_factory_rounds(rounds);
         self
     }
 
     /// Validate and assemble the job.
     pub fn build(self) -> Result<EstimationJob> {
-        let counts = self
-            .counts
-            .ok_or_else(|| Error::InvalidInput("missing algorithm counts".into()))?;
-        let qubit = self
-            .profile
-            .ok_or_else(|| Error::InvalidInput("missing hardware profile".into()))?;
-        qubit.validate()?;
-        let scheme = match self
-            .qec
-            .ok_or_else(|| Error::InvalidInput("missing QEC scheme".into()))?
-        {
-            QecChoice::Kind(kind) => QecScheme::resolve(kind, &qubit)?,
-            QecChoice::Custom(scheme) => scheme,
-        };
-        let budget = match self
-            .budget
-            .ok_or_else(|| Error::InvalidInput("missing error budget".into()))?
-        {
-            BudgetChoice::Total(total) => ErrorBudget::from_total(total)?,
-            BudgetChoice::Parts {
-                logical,
-                t_states,
-                rotations,
-            } => ErrorBudget::from_parts(logical, t_states, rotations)?,
-        };
-        let mut factory_builder = TFactoryBuilder {
-            units: self
-                .distillation_units
-                .unwrap_or_else(crate::tfactory::default_distillation_units),
-            ..TFactoryBuilder::default()
-        };
-        if let Some(rounds) = self.max_factory_rounds {
-            if rounds == 0 {
-                return Err(Error::InvalidInput(
-                    "maxFactoryRounds must be at least 1".into(),
-                ));
-            }
-            factory_builder.max_rounds = rounds;
-        }
         Ok(EstimationJob {
-            inner: PhysicalResourceEstimation {
-                counts,
-                qubit,
-                scheme,
-                budget,
-                constraints: self.constraints,
-                factory_builder,
-            },
+            request: self.inner.build()?,
         })
     }
 }
@@ -224,6 +170,7 @@ impl EstimationJobBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
 
     fn counts() -> LogicalCounts {
         LogicalCounts {

@@ -137,10 +137,7 @@ mod tests {
         let lay = layout(&counts, eps).unwrap();
         let t_rot = t_states_per_rotation(4, eps).unwrap();
         // C = meas + rot + T + 3·Tof + t_rot·D_R.
-        assert_eq!(
-            lay.algorithmic_depth,
-            11 + 4 + 7 + 3 * 8 + t_rot * 2
-        );
+        assert_eq!(lay.algorithmic_depth, 11 + 4 + 7 + 3 * 8 + t_rot * 2);
         // T = M_T + 4·Tof + t_rot·M_R.
         assert_eq!(lay.t_states, 7 + 4 * 8 + t_rot * 4);
         assert_eq!(lay.logical_qubits, post_layout_logical_qubits(10));

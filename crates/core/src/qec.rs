@@ -85,10 +85,8 @@ impl QecScheme {
             instruction_set: InstructionSet::Majorana,
             error_correction_threshold: 0.0015,
             crossing_prefactor: 0.08,
-            logical_cycle_time: Formula::parse(
-                "20 * oneQubitMeasurementTime * codeDistance",
-            )
-            .expect("built-in formula"),
+            logical_cycle_time: Formula::parse("20 * oneQubitMeasurementTime * codeDistance")
+                .expect("built-in formula"),
             physical_qubits_per_logical_qubit: Formula::parse("2 * codeDistance ^ 2")
                 .expect("built-in formula"),
             max_code_distance: 49,
@@ -137,11 +135,7 @@ impl QecScheme {
     }
 
     /// Smallest odd code distance whose logical error rate meets `required`.
-    pub fn code_distance_for(
-        &self,
-        physical_error_rate: f64,
-        required: f64,
-    ) -> Result<u32> {
+    pub fn code_distance_for(&self, physical_error_rate: f64, required: f64) -> Result<u32> {
         if physical_error_rate >= self.error_correction_threshold {
             return Err(Error::AboveThreshold {
                 physical_error_rate,
@@ -298,7 +292,10 @@ mod tests {
         let mut last = 0;
         for req in [1e-6, 1e-9, 1e-12, 1e-15] {
             let d = s.code_distance_for(p, req).unwrap();
-            assert!(d >= last, "distance must not shrink as requirement tightens");
+            assert!(
+                d >= last,
+                "distance must not shrink as requirement tightens"
+            );
             assert!(d % 2 == 1, "distance must be odd");
             last = d;
         }
@@ -393,8 +390,7 @@ mod tests {
             error_correction_threshold: 0.02,
             crossing_prefactor: 0.05,
             logical_cycle_time: Formula::parse("10 * oneQubitGateTime * codeDistance").unwrap(),
-            physical_qubits_per_logical_qubit: Formula::parse("3 * codeDistance ^ 2 + 1")
-                .unwrap(),
+            physical_qubits_per_logical_qubit: Formula::parse("3 * codeDistance ^ 2 + 1").unwrap(),
             max_code_distance: 25,
         };
         let q = PhysicalQubit::qubit_gate_ns_e3();
@@ -404,20 +400,14 @@ mod tests {
             lq.physical_qubits,
             3 * u64::from(lq.code_distance) * u64::from(lq.code_distance) + 1
         );
-        assert_eq!(
-            lq.cycle_time_ns,
-            10.0 * 50.0 * f64::from(lq.code_distance)
-        );
+        assert_eq!(lq.cycle_time_ns, 10.0 * 50.0 * f64::from(lq.code_distance));
     }
 
     #[test]
     fn scheme_json() {
         let v = QecScheme::floquet_code().to_json();
         assert_eq!(v.get("name").unwrap().as_str(), Some("floquet_code"));
-        assert_eq!(
-            v.get("crossingPrefactor").unwrap().as_f64(),
-            Some(0.07)
-        );
+        assert_eq!(v.get("crossingPrefactor").unwrap().as_f64(), Some(0.07));
         assert!(v
             .get("logicalCycleTime")
             .unwrap()

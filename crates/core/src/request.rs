@@ -1,0 +1,612 @@
+//! Declarative estimation inputs: single requests and multi-axis sweeps.
+//!
+//! The paper's workloads are inherently batched — Figure 3 sweeps three
+//! multipliers over ten bit-widths, Figure 4 sweeps six hardware profiles,
+//! and the trade-off frontier re-estimates one scenario dozens of times — so
+//! the estimation engine treats *many related estimates* as the unit of
+//! work (the service's job arrays, Section IV-A). This module defines the
+//! inputs:
+//!
+//! * [`EstimateRequest`] — one fully resolved scenario (a labelled
+//!   [`PhysicalResourceEstimation`]), assembled through
+//!   [`EstimateRequestBuilder`],
+//! * [`SweepSpec`] — declared axes (workloads × hardware profiles × QEC
+//!   schemes × error budgets × constraints) whose cartesian product the
+//!   engine expands in deterministic row-major order,
+//! * [`SweepPoint`] — the coordinates of one expanded sweep item, carried
+//!   alongside its outcome so callers can attribute results without
+//!   re-deriving the expansion order.
+
+use crate::budget::ErrorBudget;
+use crate::error::{Error, Result};
+use crate::estimate::{Constraints, PhysicalResourceEstimation};
+use crate::physical_qubit::{InstructionSet, PhysicalQubit};
+use crate::qec::{QecScheme, QecSchemeKind};
+use crate::tfactory::{DistillationUnit, TFactoryBuilder};
+use qre_circuit::LogicalCounts;
+
+/// One fully resolved estimation scenario.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// Free-form label echoed into batch outcomes (may be empty).
+    pub label: String,
+    /// The assembled estimation task.
+    pub estimation: PhysicalResourceEstimation,
+}
+
+impl EstimateRequest {
+    /// Start building a request.
+    pub fn builder() -> EstimateRequestBuilder {
+        EstimateRequestBuilder::default()
+    }
+
+    /// Wrap an already-assembled estimation task.
+    pub fn from_estimation(estimation: PhysicalResourceEstimation) -> Self {
+        EstimateRequest {
+            label: String::new(),
+            estimation,
+        }
+    }
+}
+
+/// QEC selection: a built-in kind or a fully custom scheme.
+#[derive(Debug, Clone)]
+enum QecChoice {
+    Kind(QecSchemeKind),
+    Custom(QecScheme),
+}
+
+/// Budget selection: total (split in thirds) or explicit parts.
+#[derive(Debug, Clone, Copy)]
+enum BudgetChoice {
+    Total(f64),
+    Parts {
+        logical: f64,
+        t_states: f64,
+        rotations: f64,
+    },
+}
+
+/// Builder for [`EstimateRequest`]: the algorithm (as logical counts), a
+/// hardware profile, a QEC scheme, an error budget, and optional constraints
+/// — the job-submission shape of paper Section IV-A.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateRequestBuilder {
+    label: Option<String>,
+    counts: Option<LogicalCounts>,
+    profile: Option<PhysicalQubit>,
+    qec: Option<QecChoice>,
+    budget: Option<BudgetChoice>,
+    constraints: Constraints,
+    distillation_units: Option<Vec<DistillationUnit>>,
+    max_factory_rounds: Option<usize>,
+}
+
+impl EstimateRequestBuilder {
+    /// Label echoed into batch outcomes.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The algorithm, as pre-layout logical counts (Section IV-B.3; counts
+    /// from the circuit tracer or QIR front end plug in here too).
+    pub fn counts(mut self, counts: LogicalCounts) -> Self {
+        self.counts = Some(counts);
+        self
+    }
+
+    /// The hardware profile (Section IV-C.1).
+    pub fn profile(mut self, profile: PhysicalQubit) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// A built-in QEC scheme, resolved against the profile's instruction set.
+    pub fn qec(mut self, kind: QecSchemeKind) -> Self {
+        self.qec = Some(QecChoice::Kind(kind));
+        self
+    }
+
+    /// A fully custom QEC scheme (Section IV-C.2).
+    pub fn qec_custom(mut self, scheme: QecScheme) -> Self {
+        self.qec = Some(QecChoice::Custom(scheme));
+        self
+    }
+
+    /// Total error budget, split evenly across logical / T states /
+    /// rotations (Section IV-C.3).
+    pub fn total_error_budget(mut self, total: f64) -> Self {
+        self.budget = Some(BudgetChoice::Total(total));
+        self
+    }
+
+    /// Explicit per-part error budgets.
+    pub fn error_budget_parts(mut self, logical: f64, t_states: f64, rotations: f64) -> Self {
+        self.budget = Some(BudgetChoice::Parts {
+            logical,
+            t_states,
+            rotations,
+        });
+        self
+    }
+
+    /// Logical-cycle slowdown factor (≥ 1; Section IV-C.4).
+    pub fn logical_depth_factor(mut self, factor: f64) -> Self {
+        self.constraints.logical_depth_factor = Some(factor);
+        self
+    }
+
+    /// Cap on parallel T-factory copies (Section IV-C.4).
+    pub fn max_t_factories(mut self, max: u64) -> Self {
+        self.constraints.max_t_factories = Some(max);
+        self
+    }
+
+    /// Cap on total runtime in nanoseconds.
+    pub fn max_duration_ns(mut self, max: f64) -> Self {
+        self.constraints.max_duration_ns = Some(max);
+        self
+    }
+
+    /// Cap on total physical qubits.
+    pub fn max_physical_qubits(mut self, max: u64) -> Self {
+        self.constraints.max_physical_qubits = Some(max);
+        self
+    }
+
+    /// Replace the distillation unit set (Section IV-C.5).
+    pub fn distillation_units(mut self, units: Vec<DistillationUnit>) -> Self {
+        self.distillation_units = Some(units);
+        self
+    }
+
+    /// Cap the number of distillation rounds.
+    pub fn max_factory_rounds(mut self, rounds: usize) -> Self {
+        self.max_factory_rounds = Some(rounds);
+        self
+    }
+
+    /// Validate and assemble the request.
+    pub fn build(self) -> Result<EstimateRequest> {
+        let counts = self
+            .counts
+            .ok_or_else(|| Error::InvalidInput("missing algorithm counts".into()))?;
+        let qubit = self
+            .profile
+            .ok_or_else(|| Error::InvalidInput("missing hardware profile".into()))?;
+        qubit.validate()?;
+        let scheme = match self
+            .qec
+            .ok_or_else(|| Error::InvalidInput("missing QEC scheme".into()))?
+        {
+            QecChoice::Kind(kind) => QecScheme::resolve(kind, &qubit)?,
+            QecChoice::Custom(scheme) => scheme,
+        };
+        let budget = match self
+            .budget
+            .ok_or_else(|| Error::InvalidInput("missing error budget".into()))?
+        {
+            BudgetChoice::Total(total) => ErrorBudget::from_total(total)?,
+            BudgetChoice::Parts {
+                logical,
+                t_states,
+                rotations,
+            } => ErrorBudget::from_parts(logical, t_states, rotations)?,
+        };
+        let mut factory_builder = TFactoryBuilder {
+            units: self
+                .distillation_units
+                .unwrap_or_else(crate::tfactory::default_distillation_units),
+            ..TFactoryBuilder::default()
+        };
+        if let Some(rounds) = self.max_factory_rounds {
+            if rounds == 0 {
+                return Err(Error::InvalidInput(
+                    "maxFactoryRounds must be at least 1".into(),
+                ));
+            }
+            factory_builder.max_rounds = rounds;
+        }
+        Ok(EstimateRequest {
+            label: self.label.unwrap_or_default(),
+            estimation: PhysicalResourceEstimation {
+                counts,
+                qubit,
+                scheme,
+                budget,
+                constraints: self.constraints,
+                factory_builder,
+            },
+        })
+    }
+}
+
+/// One value on a sweep's QEC-scheme axis.
+#[derive(Debug, Clone)]
+pub enum SweepScheme {
+    /// The paper's Figure 4 pairing: surface code for gate-based profiles,
+    /// floquet code for Majorana profiles.
+    ProfileDefault,
+    /// A built-in kind, resolved against each profile's instruction set.
+    Kind(QecSchemeKind),
+    /// A fully custom scheme, used as-is for every profile.
+    Custom(QecScheme),
+}
+
+impl SweepScheme {
+    /// Resolve against a profile; errors (e.g. floquet on gate-based
+    /// hardware) surface as the affected sweep item's outcome.
+    fn resolve(&self, qubit: &PhysicalQubit) -> Result<QecScheme> {
+        match self {
+            SweepScheme::ProfileDefault => {
+                let kind = match qubit.instruction_set {
+                    InstructionSet::GateBased => QecSchemeKind::SurfaceCode,
+                    InstructionSet::Majorana => QecSchemeKind::FloquetCode,
+                };
+                QecScheme::resolve(kind, qubit)
+            }
+            SweepScheme::Kind(kind) => QecScheme::resolve(*kind, qubit),
+            SweepScheme::Custom(scheme) => Ok(scheme.clone()),
+        }
+    }
+
+    /// Axis label used in [`SweepPoint`] when resolution fails.
+    fn label(&self) -> String {
+        match self {
+            SweepScheme::ProfileDefault => "default".into(),
+            SweepScheme::Kind(QecSchemeKind::SurfaceCode) => "surface_code".into(),
+            SweepScheme::Kind(QecSchemeKind::FloquetCode) => "floquet_code".into(),
+            SweepScheme::Custom(scheme) => scheme.name.clone(),
+        }
+    }
+}
+
+/// Declared axes of a sweep; the engine expands the cartesian product
+/// workloads × profiles × schemes × budgets × constraints in row-major
+/// order (workloads outermost, constraints innermost).
+///
+/// Unset axes default to a single neutral value: the profile-default QEC
+/// pairing, a 10⁻³ total error budget, and unconstrained execution. The
+/// workload and profile axes are mandatory.
+///
+/// ```
+/// use qre_core::{Estimator, PhysicalQubit, SweepSpec};
+/// use qre_circuit::LogicalCounts;
+///
+/// let counts = LogicalCounts::builder()
+///     .logical_qubits(50)
+///     .t_gates(10_000)
+///     .measurements(5_000)
+///     .build();
+/// let spec = SweepSpec::new()
+///     .workload("demo", counts)
+///     .profiles(PhysicalQubit::default_profiles())
+///     .total_error_budget(1e-4);
+/// let outcomes = Estimator::new().sweep(&spec).unwrap();
+/// assert_eq!(outcomes.len(), 6);
+/// assert!(outcomes.iter().all(|o| o.outcome.is_ok()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Labelled workloads (pre-layout logical counts).
+    pub workloads: Vec<(String, LogicalCounts)>,
+    /// Hardware profiles.
+    pub profiles: Vec<PhysicalQubit>,
+    /// QEC schemes (default: the profile pairing).
+    pub schemes: Vec<SweepScheme>,
+    /// Error budgets (default: total 10⁻³ split in thirds).
+    pub budgets: Vec<ErrorBudget>,
+    /// Component constraints (default: unconstrained).
+    pub constraints: Vec<Constraints>,
+    /// T-factory search configuration shared by every item.
+    pub factory_builder: TFactoryBuilder,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty spec with neutral defaults on the optional axes.
+    pub fn new() -> Self {
+        SweepSpec {
+            workloads: Vec::new(),
+            profiles: Vec::new(),
+            schemes: Vec::new(),
+            budgets: Vec::new(),
+            constraints: Vec::new(),
+            factory_builder: TFactoryBuilder::default(),
+        }
+    }
+
+    /// Append one labelled workload.
+    pub fn workload(mut self, label: impl Into<String>, counts: LogicalCounts) -> Self {
+        self.workloads.push((label.into(), counts));
+        self
+    }
+
+    /// Append many labelled workloads.
+    pub fn workloads(mut self, items: impl IntoIterator<Item = (String, LogicalCounts)>) -> Self {
+        self.workloads.extend(items);
+        self
+    }
+
+    /// Append one hardware profile.
+    pub fn profile(mut self, profile: PhysicalQubit) -> Self {
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Append many hardware profiles.
+    pub fn profiles(mut self, profiles: impl IntoIterator<Item = PhysicalQubit>) -> Self {
+        self.profiles.extend(profiles);
+        self
+    }
+
+    /// Append one scheme-axis value.
+    pub fn scheme(mut self, scheme: SweepScheme) -> Self {
+        self.schemes.push(scheme);
+        self
+    }
+
+    /// Append a built-in QEC scheme kind to the scheme axis.
+    pub fn qec(self, kind: QecSchemeKind) -> Self {
+        self.scheme(SweepScheme::Kind(kind))
+    }
+
+    /// Append one explicit error budget.
+    pub fn budget(mut self, budget: ErrorBudget) -> Self {
+        self.budgets.push(budget);
+        self
+    }
+
+    /// Append a total error budget (split in thirds). Invalid totals surface
+    /// as [`Error::InvalidInput`] when the sweep expands.
+    pub fn total_error_budget(mut self, total: f64) -> Self {
+        // Defer validation to expansion so the fluent chain stays infallible;
+        // encode the pending total as an even split.
+        self.budgets.push(ErrorBudget {
+            logical: total / 3.0,
+            t_states: total / 3.0,
+            rotations: total / 3.0,
+        });
+        self
+    }
+
+    /// Append one constraint set.
+    pub fn constraint(mut self, constraints: Constraints) -> Self {
+        self.constraints.push(constraints);
+        self
+    }
+
+    /// Append many constraint sets (the frontier's cap axis).
+    pub fn constraint_axis(mut self, constraints: impl IntoIterator<Item = Constraints>) -> Self {
+        self.constraints.extend(constraints);
+        self
+    }
+
+    /// Replace the shared T-factory search configuration.
+    pub fn factory_builder(mut self, builder: TFactoryBuilder) -> Self {
+        self.factory_builder = builder;
+        self
+    }
+
+    /// Number of items the cartesian product expands to.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.profiles.len()
+            * self.schemes.len().max(1)
+            * self.budgets.len().max(1)
+            * self.constraints.len().max(1)
+    }
+
+    /// `true` when a mandatory axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the cartesian product into per-item coordinates and assembled
+    /// estimation tasks. Item-level assembly failures (e.g. an incompatible
+    /// scheme/profile pairing) are reported in place; only an empty
+    /// mandatory axis fails the whole expansion.
+    pub(crate) fn expand(&self) -> Result<Vec<(SweepPoint, Result<PhysicalResourceEstimation>)>> {
+        if self.workloads.is_empty() {
+            return Err(Error::InvalidInput(
+                "sweep needs at least one workload".into(),
+            ));
+        }
+        if self.profiles.is_empty() {
+            return Err(Error::InvalidInput(
+                "sweep needs at least one hardware profile".into(),
+            ));
+        }
+        let default_schemes = [SweepScheme::ProfileDefault];
+        let schemes: &[SweepScheme] = if self.schemes.is_empty() {
+            &default_schemes
+        } else {
+            &self.schemes
+        };
+        let default_budgets = [ErrorBudget {
+            logical: 1e-3 / 3.0,
+            t_states: 1e-3 / 3.0,
+            rotations: 1e-3 / 3.0,
+        }];
+        let budgets: &[ErrorBudget] = if self.budgets.is_empty() {
+            &default_budgets
+        } else {
+            &self.budgets
+        };
+        let default_constraints = [Constraints::default()];
+        let constraints: &[Constraints] = if self.constraints.is_empty() {
+            &default_constraints
+        } else {
+            &self.constraints
+        };
+
+        let mut items = Vec::with_capacity(self.len());
+        for (workload, counts) in &self.workloads {
+            for qubit in &self.profiles {
+                for scheme_axis in schemes {
+                    let resolved = qubit.validate().and_then(|()| scheme_axis.resolve(qubit));
+                    for budget in budgets {
+                        for constraint in constraints {
+                            let point = SweepPoint {
+                                index: items.len(),
+                                workload: workload.clone(),
+                                profile: qubit.name.clone(),
+                                scheme: resolved
+                                    .as_ref()
+                                    .map(|s| s.name.clone())
+                                    .unwrap_or_else(|_| scheme_axis.label()),
+                                budget: *budget,
+                                constraints: *constraint,
+                            };
+                            let estimation = resolved
+                                .clone()
+                                .and_then(|scheme| validated_budget(budget).map(|b| (scheme, b)))
+                                .map(|(scheme, budget)| PhysicalResourceEstimation {
+                                    counts: *counts,
+                                    qubit: qubit.clone(),
+                                    scheme,
+                                    budget,
+                                    constraints: *constraint,
+                                    factory_builder: self.factory_builder.clone(),
+                                });
+                            items.push((point, estimation));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(items)
+    }
+}
+
+/// Re-validate a budget at expansion time (fluent setters defer validation).
+/// The total is checked first so a bad [`SweepSpec::total_error_budget`]
+/// value is reported as the total the caller passed, not as a derived part.
+fn validated_budget(budget: &ErrorBudget) -> Result<ErrorBudget> {
+    let total = budget.total();
+    if !(total.is_finite() && total > 0.0 && total < 1.0) {
+        return Err(Error::InvalidInput(format!(
+            "errorBudget total must lie strictly between 0 and 1, got {total}"
+        )));
+    }
+    ErrorBudget::from_parts(budget.logical, budget.t_states, budget.rotations)
+}
+
+/// Coordinates of one expanded sweep item.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Position in the expanded (row-major) order.
+    pub index: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Hardware profile name.
+    pub profile: String,
+    /// Resolved QEC scheme name (or the axis label when resolution failed).
+    pub scheme: String,
+    /// Error budget of this item.
+    pub budget: ErrorBudget,
+    /// Constraints of this item.
+    pub constraints: Constraints,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> LogicalCounts {
+        LogicalCounts {
+            num_qubits: 32,
+            t_count: 2_000,
+            measurement_count: 1_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn expansion_is_row_major_and_complete() {
+        let spec = SweepSpec::new()
+            .workload("a", counts())
+            .workload("b", counts())
+            .profiles([
+                PhysicalQubit::qubit_gate_ns_e3(),
+                PhysicalQubit::qubit_maj_ns_e4(),
+            ])
+            .total_error_budget(1e-3)
+            .total_error_budget(1e-4);
+        assert_eq!(spec.len(), 8);
+        let items = spec.expand().unwrap();
+        assert_eq!(items.len(), 8);
+        // Workloads outermost, budgets inside profiles.
+        assert_eq!(items[0].0.workload, "a");
+        assert_eq!(items[0].0.profile, "qubit_gate_ns_e3");
+        assert!((items[0].0.budget.total() - 1e-3).abs() < 1e-12);
+        assert!((items[1].0.budget.total() - 1e-4).abs() < 1e-13);
+        assert_eq!(items[2].0.profile, "qubit_maj_ns_e4");
+        assert_eq!(items[4].0.workload, "b");
+        for (i, (point, est)) in items.iter().enumerate() {
+            assert_eq!(point.index, i);
+            assert!(est.is_ok());
+        }
+        // The default pairing resolved per profile.
+        assert_eq!(items[0].0.scheme, "surface_code");
+        assert_eq!(items[2].0.scheme, "floquet_code");
+    }
+
+    #[test]
+    fn incompatible_pairings_fail_in_place() {
+        let spec = SweepSpec::new()
+            .workload("w", counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::FloquetCode);
+        let items = spec.expand().unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].1.is_err());
+        assert_eq!(items[0].0.scheme, "floquet_code");
+    }
+
+    #[test]
+    fn empty_mandatory_axes_are_rejected() {
+        assert!(SweepSpec::new().expand().is_err());
+        assert!(SweepSpec::new().workload("w", counts()).expand().is_err());
+        assert!(SweepSpec::new()
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .expand()
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_budget_fails_the_item_not_the_sweep() {
+        let spec = SweepSpec::new()
+            .workload("w", counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .total_error_budget(1e-3)
+            .total_error_budget(-1.0);
+        let items = spec.expand().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].1.is_ok());
+        assert!(items[1].1.is_err());
+    }
+
+    #[test]
+    fn request_builder_matches_job_semantics() {
+        let req = EstimateRequest::builder()
+            .label("demo")
+            .counts(counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3())
+            .qec(QecSchemeKind::SurfaceCode)
+            .total_error_budget(1e-3)
+            .max_t_factories(2)
+            .build()
+            .unwrap();
+        assert_eq!(req.label, "demo");
+        assert_eq!(req.estimation.constraints.max_t_factories, Some(2));
+        let r = req.estimation.estimate().unwrap();
+        assert!(r.breakdown.num_t_factories <= 2);
+    }
+}

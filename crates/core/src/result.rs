@@ -101,7 +101,10 @@ impl EstimationResult {
                 "physicalQubitsForTfactories",
                 b.physical_qubits_for_t_factories,
             )
-            .field("requiredLogicalQubitErrorRate", b.required_logical_error_rate)
+            .field(
+                "requiredLogicalQubitErrorRate",
+                b.required_logical_error_rate,
+            )
             .field_opt("requiredTstateErrorRate", b.required_t_state_error_rate)
             .field("numTstatesPerRotation", b.t_states_per_rotation)
             .build();
@@ -219,11 +222,7 @@ impl EstimationResult {
         match &self.t_factory {
             Some(f) => {
                 let _ = writeln!(out, "T factory parameters");
-                let _ = writeln!(
-                    out,
-                    "  Rounds:                       {}",
-                    f.num_rounds()
-                );
+                let _ = writeln!(out, "  Rounds:                       {}", f.num_rounds());
                 let _ = writeln!(
                     out,
                     "  Physical qubits per factory:  {}",
@@ -267,7 +266,11 @@ impl EstimationResult {
             "  Logical qubits:               {}",
             group_digits(p.num_qubits)
         );
-        let _ = writeln!(out, "  T gates:                      {}", group_digits(p.t_count));
+        let _ = writeln!(
+            out,
+            "  T gates:                      {}",
+            group_digits(p.t_count)
+        );
         let _ = writeln!(
             out,
             "  Rotation gates (depth):       {} ({})",
@@ -287,10 +290,26 @@ impl EstimationResult {
         );
         let eb = &self.error_budget;
         let _ = writeln!(out, "Assumed error budget");
-        let _ = writeln!(out, "  Total:                        {}", format_sci(eb.total()));
-        let _ = writeln!(out, "  Logical:                      {}", format_sci(eb.logical));
-        let _ = writeln!(out, "  T states:                     {}", format_sci(eb.t_states));
-        let _ = writeln!(out, "  Rotations:                    {}", format_sci(eb.rotations));
+        let _ = writeln!(
+            out,
+            "  Total:                        {}",
+            format_sci(eb.total())
+        );
+        let _ = writeln!(
+            out,
+            "  Logical:                      {}",
+            format_sci(eb.logical)
+        );
+        let _ = writeln!(
+            out,
+            "  T states:                     {}",
+            format_sci(eb.t_states)
+        );
+        let _ = writeln!(
+            out,
+            "  Rotations:                    {}",
+            format_sci(eb.rotations)
+        );
         let _ = writeln!(out, "Physical qubit parameters");
         let _ = writeln!(
             out,

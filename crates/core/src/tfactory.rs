@@ -78,8 +78,8 @@ pub struct DistillationUnit {
 
 /// The default 15-to-1 Reed–Muller unit family.
 pub fn default_distillation_units() -> Vec<DistillationUnit> {
-    let fail = Formula::parse("15 * inputErrorRate + 356 * cliffordErrorRate")
-        .expect("built-in formula");
+    let fail =
+        Formula::parse("15 * inputErrorRate + 356 * cliffordErrorRate").expect("built-in formula");
     let out = Formula::parse("35 * inputErrorRate ^ 3 + 7.1 * cliffordErrorRate")
         .expect("built-in formula");
     vec![
@@ -255,7 +255,14 @@ impl TFactoryBuilder {
     ) -> Vec<TFactory> {
         let mut found: Vec<TFactory> = Vec::new();
         let mut pipeline: Vec<RoundChoice> = Vec::new();
-        self.search(qubit, scheme, required, qubit.t_gate_error, &mut pipeline, &mut found);
+        self.search(
+            qubit,
+            scheme,
+            required,
+            qubit.t_gate_error,
+            &mut pipeline,
+            &mut found,
+        );
         pareto(found)
     }
 
@@ -307,8 +314,7 @@ impl TFactoryBuilder {
             }
             for level in levels {
                 let choice = RoundChoice { unit_index, level };
-                let Ok((out, _fail)) = self.eval_round(qubit, scheme, input_error, choice)
-                else {
+                let Ok((out, _fail)) = self.eval_round(qubit, scheme, input_error, choice) else {
                     continue;
                 };
                 if out >= input_error {
@@ -591,10 +597,8 @@ mod tests {
             num_input_ts: 7,
             num_output_ts: 1,
             failure_probability: Formula::parse("7 * inputErrorRate").unwrap(),
-            output_error_rate: Formula::parse(
-                "10 * inputErrorRate ^ 2 + cliffordErrorRate",
-            )
-            .unwrap(),
+            output_error_rate: Formula::parse("10 * inputErrorRate ^ 2 + cliffordErrorRate")
+                .unwrap(),
             physical: Some(PhysicalUnitSpec {
                 qubits: 8,
                 duration_cycles: 10,

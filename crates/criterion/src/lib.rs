@@ -1,0 +1,310 @@
+//! Offline stand-in for [criterion.rs](https://github.com/bheisler/criterion.rs).
+//!
+//! The workspace builds without network access, so the real `criterion`
+//! crate cannot be vendored; this shim implements the subset of its API the
+//! `qre-bench` benches use — `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkId`]/[`Throughput`], and [`Bencher::iter`] — backed by a
+//! simple adaptive wall-clock timer (calibration pass to pick an iteration
+//! count, then a fixed number of samples, median-of-samples reporting).
+//!
+//! Timings are printed in criterion's familiar `name  time: [..]` shape and
+//! additionally exposed through [`Criterion::take_measurements`] so harness
+//! binaries can persist machine-readable results.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(60);
+/// Samples collected per benchmark.
+const SAMPLES: usize = 11;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark id (`group/function` or plain function).
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed sample, ns/iteration.
+    pub min_ns: f64,
+    /// Slowest observed sample, ns/iteration.
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Benchmark a routine under the given name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let m = run_bench(id, &mut f);
+        report(&m);
+        self.measurements.push(m);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Drain every measurement recorded so far (used by harness binaries to
+    /// persist results; absent from real criterion).
+    pub fn take_measurements(&mut self) -> Vec<Measurement> {
+        std::mem::take(&mut self.measurements)
+    }
+}
+
+/// Group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let m = run_bench(&full, &mut f);
+        report(&m);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Benchmark a routine with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let m = run_bench(&full, &mut |b| f(b, input));
+        report(&m);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so group methods accept both ids and
+/// plain strings.
+pub trait IntoBenchmarkId {
+    /// Convert to a benchmark id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` for the sample's iteration count, timing the whole run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) -> Measurement {
+    // Calibrate: grow the iteration count until one sample takes long enough
+    // to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Measurement {
+        id: id.to_string(),
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        iters_per_sample: iters,
+    }
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{:<44} time: [{} {} {}]",
+        m.id,
+        fmt_ns(m.min_ns),
+        fmt_ns(m.median_ns),
+        fmt_ns(m.max_ns)
+    );
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| 2u64 + 2));
+        let ms = c.take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].median_ns >= 0.0);
+        assert!(ms[0].iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("f", 32), &32u64, |b, &x| b.iter(|| x * 2));
+            g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7u64));
+            g.finish();
+        }
+        let ms = c.take_measurements();
+        assert_eq!(ms[0].id, "grp/f/32");
+        assert_eq!(ms[1].id, "grp/7");
+    }
+}

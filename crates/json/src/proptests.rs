@@ -14,15 +14,14 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<f64>()
             .prop_filter("finite", |f| f.is_finite())
             .prop_map(|f| Value::Num(Number::Float(f))),
-        "[ -~]{0,24}".prop_map(Value::Str),   // printable ASCII
-        "\\PC{0,8}".prop_map(Value::Str),      // arbitrary printable unicode
+        "[ -~]{0,24}".prop_map(Value::Str), // printable ASCII
+        "\\PC{0,8}".prop_map(Value::Str),   // arbitrary printable unicode
     ];
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(|m| {
-                Value::Object(m.into_iter().collect())
-            }),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|m| { Value::Object(m.into_iter().collect()) }),
         ]
     })
 }

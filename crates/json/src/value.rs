@@ -302,10 +302,7 @@ mod tests {
     #[test]
     fn object_get_and_path() {
         let v = ObjectBuilder::new()
-            .field(
-                "outer",
-                ObjectBuilder::new().field("inner", 42u64).build(),
-            )
+            .field("outer", ObjectBuilder::new().field("inner", 42u64).build())
             .build();
         assert_eq!(v.get_path("outer.inner").unwrap().as_u64(), Some(42));
         assert!(v.get_path("outer.missing").is_none());

@@ -1,20 +1,21 @@
 //! # qre-par
 //!
 //! Minimal data-parallel building blocks for the `qre` workspace, built on
-//! [`crossbeam`] scoped threads (the workspace's approved parallelism crate).
+//! [`std::thread::scope`] — no external dependencies.
 //!
-//! The estimator's heavy consumers — figure sweeps over dozens of
-//! (algorithm, input size, hardware profile) combinations and the Pareto
-//! frontier search — are embarrassingly parallel over *coarse* tasks (each
-//! task is a full estimation run). Accordingly the scheduler here favours
-//! simplicity and dynamic load balance over per-item overhead tuning:
+//! The estimator's heavy consumers — batch and sweep runs through
+//! `qre_core`'s `Estimator`, figure sweeps over dozens of (algorithm, input
+//! size, hardware profile) combinations, and the Pareto frontier search —
+//! are embarrassingly parallel over *coarse* tasks (each task is a full
+//! estimation run). Accordingly the scheduler here favours simplicity and
+//! dynamic load balance over per-item overhead tuning:
 //!
 //! * work distribution through a single shared atomic cursor (each worker
 //!   claims the next index; no work item is ever processed twice),
 //! * results gathered per worker and stitched back **in input order**, so
 //!   `parallel_map` is a drop-in replacement for `iter().map().collect()`,
-//! * panics in workers propagate to the caller (crossbeam re-raises them on
-//!   scope exit), preserving the fail-fast behaviour of sequential code.
+//! * panics in workers propagate to the caller (the scope re-raises them on
+//!   join), preserving the fail-fast behaviour of sequential code.
 //!
 //! ```
 //! let squares = qre_par::parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
@@ -53,6 +54,14 @@ where
     parallel_map_indexed(items, |_, item| f(item))
 }
 
+thread_local! {
+    /// Set inside a worker's whole claim loop: nested `parallel_map` calls
+    /// issued from task bodies run sequentially instead of oversubscribing
+    /// the machine quadratically (e.g. a parallel batch whose items each
+    /// fan out a frontier sweep).
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Like [`parallel_map`], but `f` also receives the element index.
 pub fn parallel_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -62,19 +71,20 @@ where
 {
     let n = items.len();
     let threads = max_threads().min(n);
-    if threads <= 1 {
+    if threads <= 1 || IN_PARALLEL_WORKER.with(std::cell::Cell::get) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cursor = &cursor;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -94,8 +104,7 @@ where
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-    })
-    .expect("crossbeam scope itself does not fail");
+    });
 
     // Stitch results back into input order without an extra sort: place each
     // item at its recorded index.
@@ -240,14 +249,28 @@ mod tests {
         assert_eq!(xy[0], (1, "a"));
         assert_eq!(xy[5], (2, "c"));
         let xyz = cartesian3(&[1], &[2, 3], &[4, 5]);
-        assert_eq!(
-            xyz,
-            vec![(1, 2, 4), (1, 2, 5), (1, 3, 4), (1, 3, 5)]
-        );
+        assert_eq!(xyz, vec![(1, 2, 4), (1, 2, 5), (1, 3, 4), (1, 3, 5)]);
     }
 
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallel_maps_run_inner_sequentially_and_correctly() {
+        // An outer parallel map whose tasks each fan out again: the inner
+        // calls must degrade to sequential loops (no quadratic thread
+        // explosion) while producing identical results.
+        let outer: Vec<u64> = (0..16).collect();
+        let result = parallel_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..64).collect();
+            parallel_map(&inner, |&y| x * 100 + y).len() as u64
+                + parallel_map(&inner, |&y| x + y)[63]
+        });
+        let expected: Vec<u64> = outer.iter().map(|&x| 64 + x + 63).collect();
+        assert_eq!(result, expected);
+        // Back on the outer thread, parallelism is available again.
+        assert!(!IN_PARALLEL_WORKER.with(std::cell::Cell::get));
     }
 }

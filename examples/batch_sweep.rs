@@ -1,0 +1,45 @@
+//! The paper's Figure 4 profile sweep in ~20 lines: one declared
+//! [`SweepSpec`] expanded and executed in parallel by the [`Estimator`]
+//! engine, with the T-factory design cache shared across items.
+//!
+//! ```text
+//! cargo run --example batch_sweep --release
+//! ```
+
+use qre::arith::{multiplication_counts, MulAlgorithm};
+use qre::estimator::{format_duration_ns, group_digits, Estimator, HardwareProfile, SweepSpec};
+
+fn main() {
+    let spec = SweepSpec::new()
+        .workload(
+            "windowed/2048",
+            multiplication_counts(MulAlgorithm::Windowed, 2048),
+        )
+        .profiles(HardwareProfile::default_profiles()) // surface/floquet pairing is the default
+        .total_error_budget(1e-4);
+
+    let engine = Estimator::new();
+    let outcomes = engine.sweep(&spec).expect("axes are non-empty");
+
+    println!(
+        "{:<18} {:<13} {:>16} {:>12}",
+        "profile", "scheme", "physical qubits", "runtime"
+    );
+    for o in &outcomes {
+        match &o.outcome {
+            Ok(r) => println!(
+                "{:<18} {:<13} {:>16} {:>12}",
+                o.point.profile,
+                o.point.scheme,
+                group_digits(r.physical_counts.physical_qubits),
+                format_duration_ns(r.physical_counts.runtime_ns),
+            ),
+            Err(e) => println!("{:<18} error: {e}", o.point.profile),
+        }
+    }
+    let stats = engine.cache_stats();
+    println!(
+        "\nfactory cache: {} designs, {} hits",
+        stats.entries, stats.hits
+    );
+}

@@ -84,5 +84,8 @@ fn main() {
         "The custom 9-to-1 unit was selected for all {} round(s).",
         factory.num_rounds()
     );
-    assert!(factory.rounds.iter().all(|r| r.unit_name == "9-to-1 custom"));
+    assert!(factory
+        .rounds
+        .iter()
+        .all(|r| r.unit_name == "9-to-1 custom"));
 }

@@ -28,7 +28,10 @@ fn main() {
         .expect("valid job");
 
     let frontier = job.estimate_frontier().expect("feasible frontier");
-    println!("Qubit/runtime frontier ({} Pareto points)\n", frontier.len());
+    println!(
+        "Qubit/runtime frontier ({} Pareto points)\n",
+        frontier.len()
+    );
     println!(
         "{:>10} {:>16} {:>14} {:>18}",
         "factories", "physical qubits", "runtime", "qubit-seconds"

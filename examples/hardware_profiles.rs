@@ -8,16 +8,14 @@
 
 use qre::arith::{multiplication_counts, MulAlgorithm};
 use qre::estimator::{
-    format_duration_ns, format_sci, group_digits, EstimationJob, HardwareProfile,
-    InstructionSet, QecSchemeKind,
+    format_duration_ns, format_sci, group_digits, EstimationJob, HardwareProfile, InstructionSet,
+    QecSchemeKind,
 };
 
 fn main() {
     let bits = 512;
     let counts = multiplication_counts(MulAlgorithm::Windowed, bits);
-    println!(
-        "Windowed {bits}-bit multiplication across the six default profiles (budget 1e-4)\n"
-    );
+    println!("Windowed {bits}-bit multiplication across the six default profiles (budget 1e-4)\n");
     println!(
         "{:<18} {:<13} {:>4} {:>16} {:>14} {:>10}",
         "profile", "QEC scheme", "d", "physical qubits", "runtime", "rQOPS"

@@ -17,7 +17,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1024);
 
-    println!("Multiplying two {bits}-bit integers on qubit_maj_ns_e4 (floquet code, budget 1e-4)\n");
+    println!(
+        "Multiplying two {bits}-bit integers on qubit_maj_ns_e4 (floquet code, budget 1e-4)\n"
+    );
     println!(
         "{:<12} {:>14} {:>8} {:>16} {:>12} {:>12}",
         "algorithm", "logical qubits", "d", "physical qubits", "runtime", "rQOPS"

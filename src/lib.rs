@@ -13,16 +13,63 @@
 //!   and the "known logical estimates" input path,
 //! * [`arith`] — fault-tolerant quantum arithmetic (adders, table lookup, and
 //!   the paper's three multipliers: schoolbook, Karatsuba, windowed),
-//! * [`estimator`] — the physical resource estimation pipeline (QEC code
-//!   distance, T factories, rQOPS, constraints, Pareto frontiers),
+//! * [`estimator`] — the physical resource estimation engine (QEC code
+//!   distance, T factories, rQOPS, constraints, Pareto frontiers, and the
+//!   batch/sweep execution path),
 //! * [`expr`] — the formula-string engine for QEC/distillation parameters,
 //! * [`json`] — the JSON substrate used by the job/result I/O contract.
 //!
-//! ## Quickstart
+//! ## The `Estimator` engine
+//!
+//! The centre of the API is [`estimator::Estimator`]: a reusable session
+//! that owns a memoized T-factory design cache and executes estimation
+//! *batches*. The paper's workloads are inherently batched — Figure 3
+//! sweeps three multipliers over ten bit-widths, Figure 4 sweeps six
+//! hardware profiles, and the trade-off frontier re-estimates one scenario
+//! dozens of times — so many-related-estimates is the primary unit of work
+//! (the service's job arrays, Section IV-A):
+//!
+//! * [`estimator::Estimator::estimate`] — one request,
+//! * [`estimator::Estimator::estimate_batch`] — independent requests, run
+//!   in parallel with order-preserving, per-item outcomes,
+//! * [`estimator::Estimator::sweep`] — a declared [`estimator::SweepSpec`]
+//!   (workloads × profiles × QEC schemes × budgets × constraints) expanded
+//!   in row-major order and executed in parallel,
+//! * [`estimator::Estimator::frontier`] — the qubit/runtime Pareto
+//!   frontier, sharing the same cache.
+//!
+//! A warm engine skips the expensive distillation-pipeline search for
+//! repeated scenarios; failing items report their error in place instead of
+//! aborting the batch.
 //!
 //! ```
-//! use qre::estimator::{EstimationJob, HardwareProfile, QecSchemeKind};
+//! use qre::arith::{multiplication_counts, MulAlgorithm};
+//! use qre::estimator::{Estimator, HardwareProfile, SweepSpec};
+//!
+//! // The Figure 4 shape: one workload across the six default profiles
+//! // (surface code for gate-based, floquet code for Majorana — the default
+//! // pairing).
+//! let spec = SweepSpec::new()
+//!     .workload("windowed/64", multiplication_counts(MulAlgorithm::Windowed, 64))
+//!     .profiles(HardwareProfile::default_profiles())
+//!     .total_error_budget(1e-4);
+//! let engine = Estimator::new();
+//! let outcomes = engine.sweep(&spec).unwrap();
+//! assert_eq!(outcomes.len(), 6);
+//! for o in &outcomes {
+//!     let r = o.outcome.as_ref().unwrap();
+//!     assert!(r.physical_counts.physical_qubits > 0);
+//! }
+//! ```
+//!
+//! ## One-shot quickstart
+//!
+//! For a single estimate, [`estimator::EstimationJob`] remains the friendly
+//! wrapper (it compiles and behaves exactly as before the engine existed):
+//!
+//! ```
 //! use qre::circuit::LogicalCounts;
+//! use qre::estimator::{EstimationJob, HardwareProfile, QecSchemeKind};
 //!
 //! // Logical counts for a small algorithm (the Section IV-B.3 input path).
 //! let counts = LogicalCounts::builder()

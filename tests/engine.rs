@@ -1,0 +1,161 @@
+//! Integration tests for the `Estimator` engine: order preservation under
+//! parallel execution, in-place error reporting, and factory-cache
+//! correctness across sweeps.
+
+use qre::circuit::LogicalCounts;
+use qre::estimator::{
+    EstimateRequest, EstimationJob, Estimator, HardwareProfile, QecSchemeKind, SweepScheme,
+    SweepSpec,
+};
+
+fn counts(t: u64) -> LogicalCounts {
+    LogicalCounts {
+        num_qubits: 60,
+        t_count: t,
+        ccz_count: t / 10,
+        measurement_count: 2_000,
+        ..Default::default()
+    }
+}
+
+fn request(t: u64) -> EstimateRequest {
+    EstimateRequest::builder()
+        .label(format!("t={t}"))
+        .counts(counts(t))
+        .profile(HardwareProfile::qubit_gate_ns_e3())
+        .qec(QecSchemeKind::SurfaceCode)
+        .total_error_budget(1e-3)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn batch_results_come_back_in_input_order() {
+    // Mixed sizes so completion order under parallel execution differs from
+    // submission order; outcomes must still line up by index.
+    let sizes: Vec<u64> = vec![
+        400_000, 1_000, 250_000, 5_000, 120_000, 2_000, 80_000, 10_000, 40_000, 3_000, 20_000,
+        600_000,
+    ];
+    let requests: Vec<EstimateRequest> = sizes.iter().map(|&t| request(t)).collect();
+    let outcomes = Estimator::new().estimate_batch(&requests);
+    assert_eq!(outcomes.len(), sizes.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome.index, i);
+        assert_eq!(outcome.label, format!("t={}", sizes[i]));
+        let result = outcome.outcome.as_ref().unwrap();
+        // The outcome really belongs to request i: its pre-layout T count
+        // must match the submitted workload.
+        assert_eq!(result.pre_layout.t_count, sizes[i]);
+        // And it must equal the one-shot estimate of the same request.
+        let solo = requests[i].estimation.estimate().unwrap();
+        assert_eq!(*result, solo);
+    }
+}
+
+#[test]
+fn failing_sweep_item_does_not_poison_siblings() {
+    // The floquet code cannot run on gate-based hardware: those items must
+    // report an error in place while Majorana items succeed.
+    let spec = SweepSpec::new()
+        .workload("w", counts(10_000))
+        .profiles([
+            HardwareProfile::qubit_gate_ns_e3(),
+            HardwareProfile::qubit_maj_ns_e4(),
+            HardwareProfile::qubit_gate_ns_e4(),
+            HardwareProfile::qubit_maj_ns_e6(),
+        ])
+        .scheme(SweepScheme::Kind(QecSchemeKind::FloquetCode))
+        .total_error_budget(1e-4);
+    let outcomes = Estimator::new().sweep(&spec).unwrap();
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes[0].outcome.is_err());
+    assert!(outcomes[1].outcome.is_ok());
+    assert!(outcomes[2].outcome.is_err());
+    assert!(outcomes[3].outcome.is_ok());
+    // Successful siblings match their independent estimates.
+    for (i, profile) in [(1usize, "qubit_maj_ns_e4"), (3, "qubit_maj_ns_e6")] {
+        assert_eq!(outcomes[i].point.profile, profile);
+        let solo = EstimationJob::builder()
+            .counts(counts(10_000))
+            .profile(HardwareProfile::by_name(profile).unwrap())
+            .qec(QecSchemeKind::FloquetCode)
+            .total_error_budget(1e-4)
+            .build()
+            .unwrap()
+            .estimate()
+            .unwrap();
+        assert_eq!(*outcomes[i].outcome.as_ref().unwrap(), solo);
+    }
+}
+
+#[test]
+fn profile_sweep_hits_the_factory_cache_and_matches_cold_runs() {
+    let profiles = HardwareProfile::default_profiles();
+    let spec = SweepSpec::new()
+        .workload("w", counts(50_000))
+        .profiles(profiles.clone())
+        .total_error_budget(1e-4);
+    let engine = Estimator::new();
+
+    let first = engine.sweep(&spec).unwrap();
+    let cold_stats = engine.cache_stats();
+    assert_eq!(cold_stats.hits, 0, "first sweep is all misses");
+    assert!(cold_stats.misses >= profiles.len() as u64);
+
+    let second = engine.sweep(&spec).unwrap();
+    let warm_stats = engine.cache_stats();
+    assert_eq!(
+        warm_stats.misses, cold_stats.misses,
+        "warm sweep must not re-run the factory search"
+    );
+    assert!(warm_stats.hits >= profiles.len() as u64);
+
+    // Warm results are bit-identical to the first pass and to cold,
+    // independent one-shot runs.
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+    }
+    for (outcome, profile) in second.iter().zip(&profiles) {
+        let kind = match profile.instruction_set {
+            qre::estimator::InstructionSet::GateBased => QecSchemeKind::SurfaceCode,
+            qre::estimator::InstructionSet::Majorana => QecSchemeKind::FloquetCode,
+        };
+        let cold = EstimationJob::builder()
+            .counts(counts(50_000))
+            .profile(profile.clone())
+            .qec(kind)
+            .total_error_budget(1e-4)
+            .build()
+            .unwrap()
+            .estimate()
+            .unwrap();
+        assert_eq!(*outcome.outcome.as_ref().unwrap(), cold);
+    }
+}
+
+#[test]
+fn sweep_is_the_path_behind_the_figure_harness() {
+    // estimate_multiplication (a singleton sweep) agrees with the direct
+    // library path, tying the harness to the engine contract.
+    let harness = qre_bench::estimate_multiplication(
+        qre::arith::MulAlgorithm::Windowed,
+        64,
+        &HardwareProfile::qubit_maj_ns_e4(),
+        QecSchemeKind::FloquetCode,
+        1e-4,
+    )
+    .unwrap();
+    let engine = Estimator::new();
+    let req = EstimateRequest::builder()
+        .counts(qre::arith::multiplication_counts(
+            qre::arith::MulAlgorithm::Windowed,
+            64,
+        ))
+        .profile(HardwareProfile::qubit_maj_ns_e4())
+        .qec(QecSchemeKind::FloquetCode)
+        .total_error_budget(1e-4)
+        .build()
+        .unwrap();
+    assert_eq!(harness.result, engine.estimate(&req).unwrap());
+}

@@ -64,9 +64,8 @@ fn paper_depth_formula_holds_through_the_stack() {
         QecSchemeKind::FloquetCode,
         1e-4,
     );
-    let expect = counts.measurement_count
-        + counts.t_count
-        + 3 * (counts.ccz_count + counts.ccix_count);
+    let expect =
+        counts.measurement_count + counts.t_count + 3 * (counts.ccz_count + counts.ccix_count);
     assert_eq!(r.breakdown.algorithmic_depth, expect);
 }
 

@@ -32,7 +32,10 @@ fn qir_round_trip_preserves_estimates() {
 
     assert_eq!(direct_counts.t_count, qir_counts.t_count);
     assert_eq!(direct_counts.ccix_count, qir_counts.ccix_count);
-    assert_eq!(direct_counts.measurement_count, qir_counts.measurement_count);
+    assert_eq!(
+        direct_counts.measurement_count,
+        qir_counts.measurement_count
+    );
 
     // Both count sets produce identical physical estimates when widths agree.
     let estimate = |counts: LogicalCounts| {
