@@ -1,0 +1,93 @@
+//! Time-to-first-result of the streamed sweep path vs. full-collection
+//! latency, on the six-profile Figure 4-shaped sweep `BENCH_engine.json`
+//! tracks.
+//!
+//! The collecting API returns nothing until the slowest item finishes; the
+//! streamed path delivers the fastest item as soon as a worker completes
+//! it. This harness measures, per cold run (fresh `Estimator`, empty
+//! factory cache):
+//!
+//! * `first_streamed_ns` — start of `sweep_stream` to the first yielded
+//!   outcome,
+//! * `all_streamed_ns` — start to stream exhaustion,
+//! * `collect_ns` — latency of the collecting `Estimator::sweep`.
+//!
+//! Medians over the samples are printed as JSON (the `BENCH_stream.json`
+//! shape) and written to `target/experiments/BENCH_stream.json`.
+//!
+//! ```text
+//! cargo bench -p qre-bench --bench streaming
+//! ```
+
+use std::time::Instant;
+
+use qre_circuit::LogicalCounts;
+use qre_core::{Estimator, PhysicalQubit, SweepSpec};
+
+const SAMPLES: usize = 9;
+
+fn six_profile_spec() -> SweepSpec {
+    SweepSpec::new()
+        .workload(
+            "sweep",
+            LogicalCounts {
+                num_qubits: 2_000,
+                t_count: 500_000,
+                ccz_count: 100_000,
+                measurement_count: 500_000,
+                ..Default::default()
+            },
+        )
+        .profiles(PhysicalQubit::default_profiles())
+        .total_error_budget(1e-4)
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let spec = six_profile_spec();
+
+    let mut first_streamed: Vec<u128> = Vec::with_capacity(SAMPLES);
+    let mut all_streamed: Vec<u128> = Vec::with_capacity(SAMPLES);
+    let mut collect: Vec<u128> = Vec::with_capacity(SAMPLES);
+    let mut items = 0usize;
+
+    for _ in 0..SAMPLES {
+        // Streamed, cold: time to first yielded outcome, then to exhaustion.
+        let engine = Estimator::new();
+        let start = Instant::now();
+        let mut stream = engine.sweep_stream(&spec).unwrap();
+        let first = stream.next().expect("six-item sweep yields at least one");
+        first_streamed.push(start.elapsed().as_nanos());
+        assert!(first.outcome.is_ok());
+        items = 1 + stream.by_ref().count();
+        all_streamed.push(start.elapsed().as_nanos());
+
+        // Collecting, cold: one latency — nothing is visible earlier.
+        let engine = Estimator::new();
+        let start = Instant::now();
+        let outcomes = engine.sweep(&spec).unwrap();
+        collect.push(start.elapsed().as_nanos());
+        assert_eq!(outcomes.len(), items);
+    }
+
+    let first_ns = median(first_streamed);
+    let all_ns = median(all_streamed);
+    let collect_ns = median(collect);
+    let json = format!(
+        "{{\n  \"benchmark\": \"stream_six_profiles_time_to_first_result\",\n  \
+         \"samples\": {SAMPLES},\n  \"items\": {items},\n  \"results\": {{\n    \
+         \"first_streamed_ns\": {first_ns},\n    \"all_streamed_ns\": {all_ns},\n    \
+         \"collect_ns\": {collect_ns}\n  }},\n  \
+         \"speedup_first_result_vs_collect\": {:.1}\n}}",
+        collect_ns as f64 / first_ns as f64
+    );
+    println!("{json}");
+    match qre_bench::write_artifact("BENCH_stream.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

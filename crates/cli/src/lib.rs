@@ -43,9 +43,19 @@
 //! place instead of failing the submission. Unknown top-level fields are
 //! rejected with an error naming the field and the accepted set, so typos
 //! like `"errorBudgets"` in a single job never pass silently.
+//!
+//! Any submission may set top-level `"stream": true` to emit **NDJSON**
+//! instead of one monolithic document ([`run_submission_streamed`]): one
+//! JSON object per finished item, written in completion order as workers
+//! finish (each record carries its `index` in submission/expansion order),
+//! interleaved with periodic `{"progress": k, "total": n}` records — the
+//! right shape for the paper's large Fig. 3/4-scale sweeps where waiting on
+//! the slowest item before printing anything wastes the session.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+
+use std::io::Write;
 
 use qre_arith::MulAlgorithm;
 use qre_circuit::{qir, LogicalCounts};
@@ -64,11 +74,21 @@ pub struct JobSpec {
     pub frontier: bool,
 }
 
-/// A parsed submission: a single job, a batch (`{"items": [job, ...]}`)
+/// A parsed submission: its payload plus delivery options.
+#[derive(Debug)]
+pub struct Submission {
+    /// Emit NDJSON records in completion order (top-level `"stream": true`)
+    /// instead of one collecting JSON document.
+    pub stream: bool,
+    /// The submission's payload.
+    pub kind: SubmissionKind,
+}
+
+/// Submission payload: a single job, a batch (`{"items": [job, ...]}`)
 /// mirroring the service's job-array submissions, or a declared sweep
 /// (`{"sweep": {...}}`).
 #[derive(Debug)]
-pub enum Submission {
+pub enum SubmissionKind {
     /// One job.
     Single(Box<JobSpec>),
     /// A batch of independent jobs, executed in parallel with outcomes in
@@ -100,11 +120,15 @@ fn check_fields(v: &Value, context: &str, accepted: &[&str]) -> Result<(), Strin
 }
 
 /// Parse a submission: a single job object, `{"items": [...]}`, or
-/// `{"sweep": {...}}`.
+/// `{"sweep": {...}}`, each optionally with top-level `"stream": true`.
 pub fn parse_submission(text: &str) -> Result<Submission, String> {
     let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
-    if let Some(items) = doc.get("items") {
-        check_fields(&doc, "", &["items"])?;
+    let stream = match doc.get("stream") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`stream` must be a boolean")?,
+    };
+    let kind = if let Some(items) = doc.get("items") {
+        check_fields(&doc, "", &["items", "stream"])?;
         let items = items
             .as_array()
             .ok_or("`items` must be an array of job objects")?;
@@ -113,28 +137,70 @@ pub fn parse_submission(text: &str) -> Result<Submission, String> {
         }
         let mut jobs = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
+            // `stream` is a submission-level option; inside an item it would
+            // validate (JOB_FIELDS accepts it for top-level single jobs) and
+            // then be silently ignored — reject it instead.
+            if item.get("stream").is_some() {
+                return Err(format!(
+                    "items[{i}]: `stream` is a submission-level option; set it at the top level"
+                ));
+            }
             let spec =
                 parse_job(&item.to_string_compact()).map_err(|e| format!("items[{i}]: {e}"))?;
             jobs.push(spec);
         }
-        return Ok(Submission::Batch(jobs));
+        SubmissionKind::Batch(jobs)
+    } else if let Some(sweep) = doc.get("sweep") {
+        check_fields(&doc, "", &["sweep", "stream"])?;
+        SubmissionKind::Sweep(Box::new(parse_sweep(sweep)?))
+    } else {
+        SubmissionKind::Single(Box::new(parse_job(text)?))
+    };
+    Ok(Submission { stream, kind })
+}
+
+/// Render one finished sweep item — its axis coordinates plus the result or
+/// in-place error — as a JSON object. Shared by the collecting and streamed
+/// output paths, so a streamed record is field-for-field identical to the
+/// matching entry of the monolithic document.
+fn sweep_item_json(o: &qre_core::SweepOutcome) -> Value {
+    let c = &o.point.constraints;
+    let constraints = ObjectBuilder::new()
+        .field_opt("logicalDepthFactor", c.logical_depth_factor)
+        .field_opt("maxTFactories", c.max_t_factories)
+        .field_opt("maxDurationNs", c.max_duration_ns)
+        .field_opt("maxPhysicalQubits", c.max_physical_qubits)
+        .build();
+    let base = ObjectBuilder::new()
+        .field("index", o.point.index as u64)
+        .field("workload", o.point.workload.as_str())
+        .field("profile", o.point.profile.as_str())
+        .field("qecScheme", o.point.scheme.as_str())
+        .field("errorBudget", o.point.budget.total())
+        .field("constraints", constraints);
+    match &o.outcome {
+        Ok(result) => base
+            .field("status", "success")
+            .field("result", result.to_json())
+            .build(),
+        Err(e) => base
+            .field("status", "error")
+            .field("message", e.to_string())
+            .build(),
     }
-    if let Some(sweep) = doc.get("sweep") {
-        check_fields(&doc, "", &["sweep"])?;
-        return parse_sweep(sweep).map(|s| Submission::Sweep(Box::new(s)));
-    }
-    parse_job(text).map(|spec| Submission::Single(Box::new(spec)))
 }
 
 /// Run a submission through a fresh engine: a single result object,
 /// `{"items": [...]}` for a batch, or `{"estimateType": "sweep", "items":
 /// [...]}` for a sweep. Batch and sweep items that fail estimation report
-/// their error in place instead of failing the whole submission.
+/// their error in place instead of failing the whole submission. Ignores
+/// the submission's `stream` flag; callers honouring it use
+/// [`run_submission_streamed`].
 pub fn run_submission(submission: &Submission) -> Result<Value, String> {
     let engine = Estimator::new();
-    match submission {
-        Submission::Single(spec) => run_job_via(&engine, spec),
-        Submission::Batch(jobs) => {
+    match &submission.kind {
+        SubmissionKind::Single(spec) => run_job_via(&engine, spec),
+        SubmissionKind::Batch(jobs) => {
             // One parallel pass over the whole array; every item shares the
             // engine's factory cache.
             let items: Vec<Value> =
@@ -150,37 +216,9 @@ pub fn run_submission(submission: &Submission) -> Result<Value, String> {
                 .field("items", Value::Array(items))
                 .build())
         }
-        Submission::Sweep(spec) => {
+        SubmissionKind::Sweep(spec) => {
             let outcomes = engine.sweep(spec).map_err(|e| e.to_string())?;
-            let items: Vec<Value> = outcomes
-                .into_iter()
-                .map(|o| {
-                    let c = &o.point.constraints;
-                    let constraints = ObjectBuilder::new()
-                        .field_opt("logicalDepthFactor", c.logical_depth_factor)
-                        .field_opt("maxTFactories", c.max_t_factories)
-                        .field_opt("maxDurationNs", c.max_duration_ns)
-                        .field_opt("maxPhysicalQubits", c.max_physical_qubits)
-                        .build();
-                    let base = ObjectBuilder::new()
-                        .field("index", o.point.index as u64)
-                        .field("workload", o.point.workload.as_str())
-                        .field("profile", o.point.profile.as_str())
-                        .field("qecScheme", o.point.scheme.as_str())
-                        .field("errorBudget", o.point.budget.total())
-                        .field("constraints", constraints);
-                    match o.outcome {
-                        Ok(result) => base
-                            .field("status", "success")
-                            .field("result", result.to_json())
-                            .build(),
-                        Err(e) => base
-                            .field("status", "error")
-                            .field("message", e.to_string())
-                            .build(),
-                    }
-                })
-                .collect();
+            let items: Vec<Value> = outcomes.iter().map(sweep_item_json).collect();
             Ok(ObjectBuilder::new()
                 .field("status", "success")
                 .field("estimateType", "sweep")
@@ -190,7 +228,141 @@ pub fn run_submission(submission: &Submission) -> Result<Value, String> {
     }
 }
 
-/// Accepted top-level fields of a single job document.
+/// Streamed NDJSON writer shared by the batch and sweep paths: one record
+/// line per finished item in completion order, a `{"progress": k, "total":
+/// n}` line after every `stride` completions, and a final progress line.
+struct NdjsonSink<'a> {
+    out: &'a mut dyn Write,
+    total: usize,
+    done: usize,
+    stride: usize,
+    io_error: Option<std::io::Error>,
+}
+
+impl<'a> NdjsonSink<'a> {
+    fn new(out: &'a mut dyn Write, total: usize) -> Self {
+        NdjsonSink {
+            out,
+            total,
+            done: 0,
+            // ~10 progress records per run, at least one per item batch.
+            stride: (total / 10).max(1),
+            io_error: None,
+        }
+    }
+
+    fn write_line(&mut self, value: &Value) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let line = value.to_string_compact();
+        // Flush per record: streaming output is only useful if each finished
+        // item reaches the consumer (a pipe, a log follower) immediately.
+        if let Err(e) = writeln!(self.out, "{line}").and_then(|()| self.out.flush()) {
+            self.io_error = Some(e);
+        }
+    }
+
+    fn record(&mut self, value: &Value) {
+        self.write_line(value);
+        self.done += 1;
+        if self.done.is_multiple_of(self.stride) && self.done != self.total {
+            self.progress();
+        }
+    }
+
+    /// `true` once a write has failed (e.g. the consumer closed the pipe);
+    /// producers should stop estimating — nothing further can be delivered.
+    fn failed(&self) -> bool {
+        self.io_error.is_some()
+    }
+
+    fn progress(&mut self) {
+        let progress = ObjectBuilder::new()
+            .field("progress", self.done as u64)
+            .field("total", self.total as u64)
+            .build();
+        self.write_line(&progress);
+    }
+
+    fn finish(mut self) -> Result<(), String> {
+        self.progress();
+        match self.io_error {
+            None => Ok(()),
+            Some(e) => Err(format!("failed to write streamed output: {e}")),
+        }
+    }
+}
+
+/// Run a submission through a fresh engine, streaming NDJSON to `out`: one
+/// record per finished item **in completion order** (each record's `index`
+/// names its submission/expansion position) plus periodic `{"progress": k,
+/// "total": n}` records and a final one. Sweep records are field-for-field
+/// identical to the corresponding entries of [`run_submission`]'s
+/// monolithic document, and batch records are those entries plus an
+/// `index` field; failing batch/sweep items report their error in place. A
+/// failing *single* job returns `Err`, exactly as in [`run_submission`],
+/// so exit codes do not depend on the delivery mode.
+pub fn run_submission_streamed(submission: &Submission, out: &mut dyn Write) -> Result<(), String> {
+    let engine = Estimator::new();
+    match &submission.kind {
+        SubmissionKind::Single(spec) => {
+            let record = run_job_via(&engine, spec)?;
+            let mut sink = NdjsonSink::new(out, 1);
+            sink.record(&record);
+            sink.finish()
+        }
+        SubmissionKind::Batch(jobs) => {
+            let mut sink = NdjsonSink::new(out, jobs.len());
+            qre_par::parallel_map_streamed_until(
+                jobs,
+                |_, spec| match run_job_via(&engine, spec) {
+                    Ok(v) => v,
+                    Err(e) => ObjectBuilder::new()
+                        .field("status", "error")
+                        .field("message", e)
+                        .build(),
+                },
+                |index, value| {
+                    // Batch records gain the index sweeps carry natively.
+                    let record = ObjectBuilder::new().field("index", index as u64).build();
+                    let merged = match (record, value) {
+                        (Value::Object(mut head), Value::Object(tail)) => {
+                            head.extend(tail);
+                            Value::Object(head)
+                        }
+                        (_, v) => v,
+                    };
+                    sink.record(&merged);
+                    // A dead consumer (closed pipe) must not cost the rest
+                    // of the batch's compute.
+                    if sink.failed() {
+                        std::ops::ControlFlow::Break(())
+                    } else {
+                        std::ops::ControlFlow::Continue(())
+                    }
+                },
+            );
+            sink.finish()
+        }
+        SubmissionKind::Sweep(spec) => {
+            let mut sink = NdjsonSink::new(out, spec.len());
+            let stream = engine.sweep_stream(spec).map_err(|e| e.to_string())?;
+            for o in stream {
+                sink.record(&sweep_item_json(&o));
+                if sink.failed() {
+                    // Dropping the stream cancels the remaining items.
+                    break;
+                }
+            }
+            sink.finish()
+        }
+    }
+}
+
+/// Accepted top-level fields of a single job document. `stream` is a
+/// submission-level delivery option ([`parse_submission`] consumes it); it
+/// is accepted here so a single-job submission validates as a job document.
 const JOB_FIELDS: &[&str] = &[
     "algorithm",
     "qubitParams",
@@ -198,6 +370,7 @@ const JOB_FIELDS: &[&str] = &[
     "errorBudget",
     "constraints",
     "estimateType",
+    "stream",
 ];
 
 /// Parse and validate a JSON job document.
@@ -436,13 +609,19 @@ fn parse_algorithm(v: &Value) -> Result<LogicalCounts, String> {
             Some(other) => return Err(format!("unknown multiplication algorithm `{other}`")),
             None => return Err("multiplication requires an `algorithm` field".into()),
         };
-        let bits = m
+        let raw_bits = m
             .get("bits")
             .and_then(Value::as_u64)
-            .ok_or("multiplication requires integer `bits`")? as usize;
-        if !(2..=1 << 20).contains(&bits) {
-            return Err(format!("bits must lie in 2..=2^20, got {bits}"));
-        }
+            .ok_or("multiplication requires integer `bits`")?;
+        // `try_into` instead of `as`: on 32-bit targets a u64 would silently
+        // truncate before the range check, turning e.g. 2^32+64 into 64.
+        let bits: usize = raw_bits
+            .try_into()
+            .ok()
+            .filter(|b| (2..=1 << 20).contains(b))
+            .ok_or_else(|| {
+                format!("multiplication `bits` must lie in 2..=1048576 (2^20), got {raw_bits}")
+            })?;
         return Ok(qre_arith::multiplication_counts(alg, bits));
     }
     Err("`algorithm` must contain `logicalCounts`, `qir`, or `multiplication`".into())
@@ -734,7 +913,8 @@ mod tests {
               "qecScheme": { "name": "floquet_code" } }
         ] }"#;
         let submission = parse_submission(batch).unwrap();
-        assert!(matches!(submission, Submission::Batch(ref jobs) if jobs.len() == 2));
+        assert!(!submission.stream);
+        assert!(matches!(submission.kind, SubmissionKind::Batch(ref jobs) if jobs.len() == 2));
         let out = run_submission(&submission).unwrap();
         let items = out.get("items").unwrap().as_array().unwrap();
         assert_eq!(items.len(), 2);
@@ -778,7 +958,7 @@ mod tests {
     #[test]
     fn single_submission_passthrough() {
         let submission = parse_submission(COUNTS_JOB).unwrap();
-        assert!(matches!(submission, Submission::Single(_)));
+        assert!(matches!(submission.kind, SubmissionKind::Single(_)));
         let out = run_submission(&submission).unwrap();
         assert!(out.get("physicalCounts").is_some());
     }
@@ -837,7 +1017,7 @@ mod tests {
             "errorBudgets": [ 1e-4 ]
         } }"#;
         let submission = parse_submission(sweep).unwrap();
-        assert!(matches!(submission, Submission::Sweep(_)));
+        assert!(matches!(submission.kind, SubmissionKind::Sweep(_)));
         let out = run_submission(&submission).unwrap();
         assert_eq!(out.get("estimateType").unwrap().as_str(), Some("sweep"));
         let items = out.get("items").unwrap().as_array().unwrap();
@@ -898,6 +1078,153 @@ mod tests {
             .unwrap()
             .contains("Majorana"));
         assert_eq!(items[1].get("status").unwrap().as_str(), Some("success"));
+    }
+
+    #[test]
+    fn multiplication_bits_out_of_range_is_rejected() {
+        // In range: fine.
+        assert!(parse_job(
+            r#"{ "algorithm": { "multiplication": { "algorithm": "windowed", "bits": 64 } } }"#
+        )
+        .is_ok());
+        // Out of the accepted range (and, on 32-bit targets, out of usize):
+        // must be rejected with the range named, never truncated.
+        let big = r#"{ "algorithm": { "multiplication":
+            { "algorithm": "windowed", "bits": 4294967360 } } }"#;
+        let err = parse_job(big).unwrap_err();
+        assert!(err.contains("2..=1048576"), "{err}");
+        assert!(err.contains("4294967360"), "{err}");
+        let small = r#"{ "algorithm": { "multiplication":
+            { "algorithm": "windowed", "bits": 1 } } }"#;
+        let err = parse_job(small).unwrap_err();
+        assert!(err.contains("2..=1048576"), "{err}");
+    }
+
+    fn parse_ndjson_lines(bytes: &[u8]) -> Vec<Value> {
+        std::str::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|line| qre_json::parse(line).expect("every NDJSON line parses"))
+            .collect()
+    }
+
+    #[test]
+    fn streamed_sweep_emits_ndjson_equal_to_collecting_run() {
+        let sweep = r#"{ "stream": true, "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 20, "tCount": 2000 } } ],
+            "errorBudgets": [ 1e-4 ]
+        } }"#;
+        let submission = parse_submission(sweep).unwrap();
+        assert!(submission.stream);
+        let mut bytes = Vec::new();
+        run_submission_streamed(&submission, &mut bytes).unwrap();
+        let lines = parse_ndjson_lines(&bytes);
+
+        let records: Vec<&Value> = lines.iter().filter(|v| v.get("index").is_some()).collect();
+        let progress: Vec<&Value> = lines
+            .iter()
+            .filter(|v| v.get("progress").is_some())
+            .collect();
+        assert_eq!(records.len(), 6, "one record per sweep item");
+        assert!(!progress.is_empty(), "progress records interleave");
+        // The final line is the completed progress record.
+        let last = lines.last().unwrap();
+        assert_eq!(last.get("progress").unwrap().as_u64(), Some(6));
+        assert_eq!(last.get("total").unwrap().as_u64(), Some(6));
+
+        // Streamed records are field-for-field the collecting document's
+        // items, matched up by index.
+        let collected = run_submission(&submission).unwrap();
+        let items = collected.get("items").unwrap().as_array().unwrap();
+        for record in records {
+            let index = record.get("index").unwrap().as_u64().unwrap() as usize;
+            assert_eq!(
+                record.to_string_compact(),
+                items[index].to_string_compact(),
+                "record {index} diverges from the collecting API"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_batch_records_carry_indices() {
+        let batch = r#"{ "stream": true, "items": [
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } },
+              "errorBudget": 1e-60 },
+            { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 300 } } }
+        ] }"#;
+        let submission = parse_submission(batch).unwrap();
+        let mut bytes = Vec::new();
+        run_submission_streamed(&submission, &mut bytes).unwrap();
+        let lines = parse_ndjson_lines(&bytes);
+        let records: Vec<&Value> = lines.iter().filter(|v| v.get("index").is_some()).collect();
+        assert_eq!(records.len(), 3);
+        let mut indices: Vec<u64> = records
+            .iter()
+            .map(|r| r.get("index").unwrap().as_u64().unwrap())
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2]);
+        // The infeasible item reports its error in place.
+        let failing = records
+            .iter()
+            .find(|r| r.get("index").unwrap().as_u64() == Some(1))
+            .unwrap();
+        assert_eq!(failing.get("status").unwrap().as_str(), Some("error"));
+    }
+
+    #[test]
+    fn streamed_single_job_emits_one_record_and_progress() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "stream": true
+        }"#;
+        let submission = parse_submission(job).unwrap();
+        assert!(submission.stream);
+        let mut bytes = Vec::new();
+        run_submission_streamed(&submission, &mut bytes).unwrap();
+        let lines = parse_ndjson_lines(&bytes);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].get("physicalCounts").is_some());
+        assert_eq!(lines[1].get("progress").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn streamed_single_job_failure_propagates_like_collecting() {
+        // A failing single job must error out (exit code 1 at the binary)
+        // whether streamed or collected — not degrade to an NDJSON record.
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "errorBudget": 1e-60,
+            "stream": true
+        }"#;
+        let submission = parse_submission(job).unwrap();
+        let mut bytes = Vec::new();
+        let streamed = run_submission_streamed(&submission, &mut bytes);
+        let collected = run_submission(&submission);
+        assert!(streamed.is_err());
+        assert_eq!(streamed.unwrap_err(), collected.unwrap_err());
+        assert!(bytes.is_empty(), "no partial output on a failed single job");
+    }
+
+    #[test]
+    fn stream_flag_must_be_boolean() {
+        let err = parse_submission(r#"{ "stream": 1, "items": [] }"#).unwrap_err();
+        assert!(err.contains("boolean"), "{err}");
+    }
+
+    #[test]
+    fn stream_flag_inside_batch_items_is_rejected() {
+        // Submission-level option misplaced on an item: must error, not be
+        // silently ignored.
+        let batch = r#"{ "items": [
+            { "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+              "stream": true }
+        ] }"#;
+        let err = parse_submission(batch).unwrap_err();
+        assert!(err.contains("items[0]"), "{err}");
+        assert!(err.contains("top level"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! qre --compact <job.json>  single-line JSON
 //! qre --help                usage
 //! ```
+//!
+//! A submission with top-level `"stream": true` emits NDJSON — one record
+//! per finished item in completion order, plus `{"progress": k, "total": n}`
+//! records — instead of one monolithic document.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -19,7 +23,9 @@ fn usage() -> &'static str {
      \n\
      The job file is a JSON specification; see the qre-cli crate docs for the\n\
      schema. `-` reads the job from stdin. Output is pretty-printed JSON by\n\
-     default, `--compact` emits one line, `--report` renders a text report.\n"
+     default, `--compact` emits one line, `--report` renders a text report.\n\
+     A submission with top-level \"stream\": true emits NDJSON records as\n\
+     items finish, interleaved with {\"progress\": k, \"total\": n} lines.\n"
 }
 
 fn main() -> ExitCode {
@@ -73,10 +79,14 @@ fn main() -> ExitCode {
     };
 
     if report {
-        let specs: Vec<&qre_cli::JobSpec> = match &submission {
-            qre_cli::Submission::Single(spec) => vec![spec],
-            qre_cli::Submission::Batch(jobs) => jobs.iter().collect(),
-            qre_cli::Submission::Sweep(_) => {
+        if submission.stream {
+            eprintln!("--report cannot stream; drop `\"stream\": true` or use JSON output");
+            return ExitCode::FAILURE;
+        }
+        let specs: Vec<&qre_cli::JobSpec> = match &submission.kind {
+            qre_cli::SubmissionKind::Single(spec) => vec![spec],
+            qre_cli::SubmissionKind::Batch(jobs) => jobs.iter().collect(),
+            qre_cli::SubmissionKind::Sweep(_) => {
                 eprintln!(
                     "--report supports single and batch submissions; use JSON output for sweeps"
                 );
@@ -93,6 +103,16 @@ fn main() -> ExitCode {
             }
         }
         ExitCode::SUCCESS
+    } else if submission.stream {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match qre_cli::run_submission_streamed(&submission, &mut out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("estimation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
     } else {
         match qre_cli::run_submission(&submission) {
             Ok(value) => {

@@ -16,6 +16,7 @@
 //! key. The cache is internally synchronized and safe to share across the
 //! worker threads of a parallel batch.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -136,9 +137,11 @@ fn factory_key(
 /// Hit/miss/size counters of a [`FactoryCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (including lookups that raced a
+    /// concurrent search and adopted its first-written result).
     pub hits: u64,
-    /// Lookups that ran the full pipeline search.
+    /// Lookups whose search populated the cache: exactly one per distinct
+    /// key, however many threads race on it.
     pub misses: u64,
     /// Distinct designs currently stored.
     pub entries: usize,
@@ -175,14 +178,22 @@ impl FactoryCache {
         }
         // Search outside the lock: concurrent misses on the same key may
         // duplicate work once, but never block each other on the (long)
-        // pipeline search.
+        // pipeline search. Insertion is first-write-wins — a racer that
+        // finds the entry already present counts as a hit and returns the
+        // stored design, so `misses` counts exactly the searches that
+        // populated the cache and every caller sees one canonical result.
         let designed = builder.find_factory(qubit, scheme, required);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.designs
-            .lock()
-            .expect("factory cache lock")
-            .insert(key, designed.clone());
-        designed
+        match self.designs.lock().expect("factory cache lock").entry(key) {
+            Entry::Occupied(existing) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                existing.get().clone()
+            }
+            Entry::Vacant(slot) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.insert(designed.clone());
+                designed
+            }
+        }
     }
 
     /// Current counters.
@@ -268,6 +279,32 @@ mod tests {
         }
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_count_once() {
+        // Many threads racing the same cold key: each runs the search
+        // outside the lock, but only the first writer may count a miss or
+        // store its design — the rest adopt the stored result as hits.
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        let threads = 8;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| cache.find_factory(&b, &q, &s, 1e-10).unwrap()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one populating search per key");
+        assert_eq!(stats.hits, threads - 1);
+        assert_eq!(stats.entries, 1);
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "all racers see the first-written design");
+        }
     }
 
     #[test]

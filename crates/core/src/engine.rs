@@ -1,17 +1,31 @@
-//! The estimation engine: one batch/sweep execution path with a shared,
-//! memoized T-factory cache.
+//! The estimation engine: one *streamed* batch/sweep execution path with a
+//! shared, memoized T-factory cache.
 //!
 //! [`Estimator`] is the centre of the public API. Every consumer — the
 //! one-shot [`crate::EstimationJob`] wrapper, the CLI's job arrays and sweep
 //! form, the figure harness, and the qubit/runtime frontier — funnels into
-//! [`Estimator::estimate_batch`], which executes items in parallel via
-//! [`qre_par::parallel_map`] and returns order-preserving outcomes with
-//! per-item errors reported in place rather than aborting the batch.
+//! one streamed execution core ([`qre_par::parallel_map_streamed`]): items
+//! run in parallel and their outcomes are delivered **as they finish**, with
+//! per-item errors reported in place rather than aborting the batch. Three
+//! consumption styles layer on top of that single path:
 //!
-//! The engine owns a [`FactoryCache`]: the expensive distillation-pipeline
-//! search is memoized across every estimate the engine runs, so repeated
-//! scenarios (a profile sweep re-run, the frontier's dozens of re-estimates
-//! of one scenario, identical batch items) skip the search entirely.
+//! * collecting — [`Estimator::estimate_batch`] / [`Estimator::sweep`]
+//!   stitch streamed outcomes back into input (expansion) order,
+//! * observer callbacks — [`Estimator::estimate_batch_with`] /
+//!   [`Estimator::sweep_with`] / [`Estimator::frontier_with`] hand each
+//!   outcome to a closure in completion order (progress bars, NDJSON),
+//! * iterators — [`Estimator::estimate_batch_stream`] /
+//!   [`Estimator::sweep_stream`] move execution to a background thread and
+//!   yield outcomes in completion order as an [`Iterator`].
+//!
+//! The engine owns a [`FactoryCache`] (behind an [`Arc`], so streams and
+//! clones share it): the expensive distillation-pipeline search is memoized
+//! across every estimate the engine runs, so repeated scenarios (a profile
+//! sweep re-run, the frontier's dozens of re-estimates of one scenario,
+//! identical batch items) skip the search entirely.
+
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use crate::cache::{CacheStats, FactoryCache};
 use crate::error::{Error, Result};
@@ -48,7 +62,7 @@ use crate::result::EstimationResult;
 /// ```
 #[derive(Debug, Default)]
 pub struct Estimator {
-    cache: FactoryCache,
+    cache: Arc<FactoryCache>,
 }
 
 /// Outcome of one batch item, in input order.
@@ -79,6 +93,13 @@ impl Estimator {
         Self::default()
     }
 
+    /// An engine over a caller-provided (possibly process-wide) factory
+    /// cache; engines built from the same [`Arc`] share every memoized
+    /// design.
+    pub fn with_cache(cache: Arc<FactoryCache>) -> Self {
+        Estimator { cache }
+    }
+
     /// Estimate one request through the shared cache.
     pub fn estimate(&self, request: &EstimateRequest) -> Result<EstimationResult> {
         request.estimation.estimate_with(&self.cache)
@@ -86,12 +107,34 @@ impl Estimator {
 
     /// Estimate many independent requests in parallel. Outcomes come back in
     /// input order; a failing item reports its error in place.
+    /// ([`qre_par::parallel_map_indexed`] restores input order over the same
+    /// streamed core the `_with`/`_stream` variants use.)
     pub fn estimate_batch(&self, requests: &[EstimateRequest]) -> Vec<BatchOutcome> {
         qre_par::parallel_map_indexed(requests, |index, request| BatchOutcome {
             index,
             label: request.label.clone(),
             outcome: self.estimate(request),
         })
+    }
+
+    /// Streamed batch execution: estimate every request in parallel and hand
+    /// each [`BatchOutcome`] to `on_outcome` **in completion order** (the
+    /// outcome's `index` identifies the originating request). `on_outcome`
+    /// runs on the calling thread. This is the execution core
+    /// [`Estimator::estimate_batch`] collects from.
+    pub fn estimate_batch_with<F>(&self, requests: &[EstimateRequest], mut on_outcome: F)
+    where
+        F: FnMut(BatchOutcome),
+    {
+        qre_par::parallel_map_streamed(
+            requests,
+            |index, request| BatchOutcome {
+                index,
+                label: request.label.clone(),
+                outcome: self.estimate(request),
+            },
+            |_, outcome| on_outcome(outcome),
+        );
     }
 
     /// Expand a sweep's cartesian product and estimate every item in
@@ -101,13 +144,93 @@ impl Estimator {
     pub fn sweep(&self, spec: &SweepSpec) -> Result<Vec<SweepOutcome>> {
         let items = spec.expand()?;
         Ok(qre_par::parallel_map(&items, |(point, estimation)| {
-            SweepOutcome {
-                point: point.clone(),
-                outcome: match estimation {
-                    Ok(est) => est.estimate_with(&self.cache),
-                    Err(e) => Err(e.clone()),
+            self.sweep_outcome(point, estimation)
+        }))
+    }
+
+    /// Estimate one expanded sweep item (shared by the collecting, observer,
+    /// and iterator forms).
+    fn sweep_outcome(
+        &self,
+        point: &SweepPoint,
+        estimation: &Result<PhysicalResourceEstimation>,
+    ) -> SweepOutcome {
+        SweepOutcome {
+            point: point.clone(),
+            outcome: match estimation {
+                Ok(est) => est.estimate_with(&self.cache),
+                Err(e) => Err(e.clone()),
+            },
+        }
+    }
+
+    /// Streamed sweep execution: expand the cartesian product, estimate
+    /// every item in parallel, and hand each [`SweepOutcome`] to
+    /// `on_outcome` **in completion order** (the outcome's `point.index`
+    /// identifies its position in the expansion). Returns the number of
+    /// expanded items; only an empty mandatory axis fails the whole sweep.
+    /// This is the execution core [`Estimator::sweep`] collects from.
+    pub fn sweep_with<F>(&self, spec: &SweepSpec, mut on_outcome: F) -> Result<usize>
+    where
+        F: FnMut(SweepOutcome),
+    {
+        let items = spec.expand()?;
+        let total = items.len();
+        qre_par::parallel_map_streamed(
+            &items,
+            |_, (point, estimation)| self.sweep_outcome(point, estimation),
+            |_, outcome| on_outcome(outcome),
+        );
+        Ok(total)
+    }
+
+    /// Streamed batch execution as an [`Iterator`]: takes ownership of the
+    /// requests, runs them on a background thread sharing this engine's
+    /// factory cache, and yields outcomes in completion order.
+    ///
+    /// Dropping the stream early cancels the run: undelivered outcomes are
+    /// discarded, no further items start, and the drop blocks only until
+    /// the in-flight items finish. A panicking item re-raises on the
+    /// consumer at the `next()` that observes the end of the stream.
+    pub fn estimate_batch_stream(&self, requests: Vec<EstimateRequest>) -> BatchStream {
+        let cache = Arc::clone(&self.cache);
+        OutcomeStream::spawn(requests.len(), move |sender| {
+            let engine = Estimator::with_cache(cache);
+            qre_par::parallel_map_streamed_until(
+                &requests,
+                |index, request| BatchOutcome {
+                    index,
+                    label: request.label.clone(),
+                    outcome: engine.estimate(request),
                 },
-            }
+                // A dropped receiver is the consumer hanging up: stop
+                // claiming new items and wind down.
+                |_, outcome| match sender.send(outcome) {
+                    Ok(()) => std::ops::ControlFlow::Continue(()),
+                    Err(_) => std::ops::ControlFlow::Break(()),
+                },
+            );
+        })
+    }
+
+    /// Streamed sweep execution as an [`Iterator`]: expands the spec now
+    /// (axis errors surface immediately), runs the items on a background
+    /// thread sharing this engine's factory cache, and yields outcomes in
+    /// completion order. See [`Estimator::estimate_batch_stream`] for drop
+    /// and panic semantics.
+    pub fn sweep_stream(&self, spec: &SweepSpec) -> Result<SweepStream> {
+        let items = spec.expand()?;
+        let cache = Arc::clone(&self.cache);
+        Ok(OutcomeStream::spawn(items.len(), move |sender| {
+            let engine = Estimator::with_cache(cache);
+            qre_par::parallel_map_streamed_until(
+                &items,
+                |_, (point, estimation)| engine.sweep_outcome(point, estimation),
+                |_, outcome| match sender.send(outcome) {
+                    Ok(()) => std::ops::ControlFlow::Continue(()),
+                    Err(_) => std::ops::ControlFlow::Break(()),
+                },
+            );
         }))
     }
 
@@ -115,7 +238,24 @@ impl Estimator {
     /// cache: the factory design is computed once and reused by every
     /// factory-cap re-estimate.
     pub fn frontier(&self, request: &EstimateRequest) -> Result<Vec<FrontierPoint>> {
-        estimate_frontier_via(self, &request.estimation)
+        estimate_frontier_via(self, &request.estimation, |_| {})
+    }
+
+    /// Like [`Estimator::frontier`], streaming each factory-cap re-estimate
+    /// to `on_point` in completion order as the cap sweep executes (the
+    /// outcome's `point.constraints.max_t_factories` names the cap). The
+    /// returned vector is the Pareto-reduced frontier, as in
+    /// [`Estimator::frontier`]; observed outcomes include the dominated and
+    /// failed points the reduction later drops.
+    pub fn frontier_with<F>(
+        &self,
+        request: &EstimateRequest,
+        on_point: F,
+    ) -> Result<Vec<FrontierPoint>>
+    where
+        F: FnMut(&SweepOutcome),
+    {
+        estimate_frontier_via(self, &request.estimation, on_point)
     }
 
     /// Like [`Estimator::frontier`], for an already-assembled estimation.
@@ -123,7 +263,7 @@ impl Estimator {
         &self,
         estimation: &PhysicalResourceEstimation,
     ) -> Result<Vec<FrontierPoint>> {
-        estimate_frontier_via(self, estimation)
+        estimate_frontier_via(self, estimation, |_| {})
     }
 
     /// Hit/miss/size counters of the factory cache.
@@ -139,6 +279,123 @@ impl Estimator {
     /// The underlying cache (for advanced composition).
     pub fn cache(&self) -> &FactoryCache {
         &self.cache
+    }
+
+    /// A shareable handle to the cache, for building sibling engines via
+    /// [`Estimator::with_cache`].
+    pub fn cache_handle(&self) -> Arc<FactoryCache> {
+        Arc::clone(&self.cache)
+    }
+}
+
+/// Iterator over outcomes of a streamed batch or sweep, yielding items in
+/// completion order from a background execution thread.
+///
+/// Produced by [`Estimator::estimate_batch_stream`] and
+/// [`Estimator::sweep_stream`]. Each yielded outcome carries its original
+/// batch index / [`SweepPoint`], so consumers can attribute results without
+/// assuming input order. The background thread is joined when the stream is
+/// exhausted or dropped; a panic raised by an item propagates to the
+/// consumer at that join.
+#[derive(Debug)]
+pub struct OutcomeStream<O> {
+    /// `Some` until the stream ends or is dropped; dropping the receiver is
+    /// the hang-up signal that stops the background run early.
+    receiver: Option<mpsc::Receiver<O>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    total: usize,
+    delivered: usize,
+}
+
+/// Completion-order iterator over [`BatchOutcome`]s.
+pub type BatchStream = OutcomeStream<BatchOutcome>;
+/// Completion-order iterator over [`SweepOutcome`]s.
+pub type SweepStream = OutcomeStream<SweepOutcome>;
+
+impl<O: Send + 'static> OutcomeStream<O> {
+    /// Run `work` on a background thread feeding this stream's channel. The
+    /// nested-parallelism guard of the calling thread is replayed on the
+    /// background thread, so a stream opened from inside a parallel worker
+    /// still degrades to sequential execution.
+    fn spawn<W>(total: usize, work: W) -> Self
+    where
+        W: FnOnce(mpsc::Sender<O>) + Send + 'static,
+    {
+        let (sender, receiver) = mpsc::channel();
+        let in_worker = qre_par::in_parallel_worker();
+        let worker = std::thread::spawn(move || {
+            qre_par::set_in_parallel_worker(in_worker);
+            work(sender);
+        });
+        OutcomeStream {
+            receiver: Some(receiver),
+            worker: Some(worker),
+            total,
+            delivered: 0,
+        }
+    }
+}
+
+impl<O> OutcomeStream<O> {
+    /// Total number of items the underlying batch/sweep executes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of outcomes yielded so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Join the background thread, re-raising a worker panic.
+    fn join_worker(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl<O> Iterator for OutcomeStream<O> {
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        match self.receiver.as_ref().and_then(|r| r.recv().ok()) {
+            Some(outcome) => {
+                self.delivered += 1;
+                Some(outcome)
+            }
+            None => {
+                // Channel closed: execution finished (or panicked — the join
+                // re-raises the payload here).
+                self.receiver = None;
+                self.join_worker();
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total.saturating_sub(self.delivered);
+        (0, Some(remaining))
+    }
+}
+
+impl<O> Drop for OutcomeStream<O> {
+    fn drop(&mut self) {
+        // Hang up first: the background run sees the closed channel, stops
+        // claiming items, and winds down after only the in-flight ones.
+        self.receiver = None;
+        if let Some(handle) = self.worker.take() {
+            // Swallow a worker panic only when this drop is itself part of
+            // unwinding; re-raising then would abort the process.
+            if let Err(payload) = handle.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
     }
 }
 
@@ -235,6 +492,96 @@ mod tests {
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn batch_observer_sees_every_outcome_exactly_once() {
+        let requests: Vec<EstimateRequest> = (1..=12).map(|i| request(i * 2_000)).collect();
+        let engine = Estimator::new();
+        let mut streamed: Vec<BatchOutcome> = Vec::new();
+        engine.estimate_batch_with(&requests, |o| streamed.push(o));
+        assert_eq!(streamed.len(), requests.len());
+        let mut indices: Vec<usize> = streamed.iter().map(|o| o.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..requests.len()).collect::<Vec<_>>());
+        // Each streamed outcome is bit-identical to the collecting API's.
+        let collected = engine.estimate_batch(&requests);
+        for o in &streamed {
+            assert_eq!(o.label, collected[o.index].label);
+            assert_eq!(
+                o.outcome.as_ref().unwrap(),
+                collected[o.index].outcome.as_ref().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_stream_matches_collecting_sweep() {
+        let spec = SweepSpec::new()
+            .workload("w", counts(30_000))
+            .profiles(PhysicalQubit::default_profiles())
+            .total_error_budget(1e-4);
+        let engine = Estimator::new();
+        let collected = engine.sweep(&spec).unwrap();
+
+        let stream = engine.sweep_stream(&spec).unwrap();
+        assert_eq!(stream.total(), collected.len());
+        let streamed: Vec<SweepOutcome> = stream.collect();
+        assert_eq!(streamed.len(), collected.len());
+        for o in &streamed {
+            let twin = &collected[o.point.index];
+            assert_eq!(o.point.profile, twin.point.profile);
+            assert_eq!(
+                o.outcome.as_ref().unwrap(),
+                twin.outcome.as_ref().unwrap(),
+                "streamed result must be bit-identical to the collecting API's"
+            );
+        }
+        // The stream ran on the engine's shared cache: no re-searches.
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= collected.len() as u64);
+    }
+
+    #[test]
+    fn batch_stream_yields_all_indices() {
+        let requests: Vec<EstimateRequest> = (1..=8).map(|i| request(i * 3_000)).collect();
+        let engine = Estimator::new();
+        let stream = engine.estimate_batch_stream(requests.clone());
+        assert_eq!(stream.total(), 8);
+        let mut indices: Vec<usize> = stream.map(|o| o.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "stream worker boom")]
+    fn stream_worker_panic_propagates_to_consumer() {
+        let stream: OutcomeStream<u32> = OutcomeStream::spawn(2, |sender| {
+            sender.send(1).unwrap();
+            panic!("stream worker boom");
+        });
+        // The delivered item arrives; the panic re-raises at the `next()`
+        // that observes the closed channel.
+        for _ in stream {}
+    }
+
+    #[test]
+    fn dropping_a_stream_early_is_safe() {
+        let spec = SweepSpec::new()
+            .workload("w", counts(5_000))
+            .profiles(PhysicalQubit::default_profiles())
+            .total_error_budget(1e-3);
+        let engine = Estimator::new();
+        let mut stream = engine.sweep_stream(&spec).unwrap();
+        let first = stream.next().unwrap();
+        assert!(first.point.index < stream.total());
+        drop(stream); // joins the background thread without panicking
+    }
+
+    #[test]
+    fn sweep_stream_reports_expansion_errors_eagerly() {
+        let engine = Estimator::new();
+        assert!(engine.sweep_stream(&SweepSpec::new()).is_err());
     }
 
     #[test]

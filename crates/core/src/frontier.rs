@@ -36,15 +36,22 @@ pub struct FrontierPoint {
 /// [`Estimator::frontier`], which shares one factory cache across all of
 /// them.
 pub fn estimate_frontier(estimation: &PhysicalResourceEstimation) -> Result<Vec<FrontierPoint>> {
-    estimate_frontier_via(&Estimator::new(), estimation)
+    estimate_frontier_via(&Estimator::new(), estimation, |_| {})
 }
 
 /// Frontier exploration through a caller-owned engine (the implementation
-/// behind [`Estimator::frontier`]).
-pub(crate) fn estimate_frontier_via(
+/// behind [`Estimator::frontier`] and [`Estimator::frontier_with`]).
+/// `on_point` observes each cap re-estimate in completion order, before the
+/// Pareto reduction drops dominated and failed points.
+pub(crate) fn estimate_frontier_via<F>(
     engine: &Estimator,
     estimation: &PhysicalResourceEstimation,
-) -> Result<Vec<FrontierPoint>> {
+    on_point: F,
+) -> Result<Vec<FrontierPoint>>
+where
+    F: FnMut(&crate::engine::SweepOutcome),
+{
+    let mut on_point = on_point;
     let base = estimation.estimate_with(engine.cache())?;
     let max_factories = base.breakdown.num_t_factories;
     if max_factories <= 1 {
@@ -79,37 +86,93 @@ pub(crate) fn estimate_frontier_via(
             ..estimation.constraints
         }))
         .factory_builder(estimation.factory_builder.clone());
-    let sweeps = engine.sweep(&spec)?;
+    // The cap axis is the only multi-valued axis, so a sweep item's
+    // expansion index is its cap index; stream outcomes to the observer and
+    // stitch them back by that index.
+    let mut slots: Vec<Option<crate::engine::SweepOutcome>> =
+        (0..caps.len()).map(|_| None).collect();
+    engine.sweep_with(&spec, |outcome| {
+        on_point(&outcome);
+        let index = outcome.point.index;
+        slots[index] = Some(outcome);
+    })?;
 
-    let mut points: Vec<FrontierPoint> = caps
+    let points: Vec<FrontierPoint> = caps
         .into_iter()
-        .zip(sweeps)
+        .zip(slots)
         .filter_map(|(cap, item)| {
-            item.outcome.ok().map(|result| FrontierPoint {
-                max_t_factories: cap,
-                result,
-            })
+            item.expect("every sweep item delivered exactly once")
+                .outcome
+                .ok()
+                .map(|result| FrontierPoint {
+                    max_t_factories: cap,
+                    result,
+                })
         })
         .collect();
-    // Sort by descending qubits, then keep strictly improving runtimes.
-    points.sort_by(|a, b| {
-        b.result
-            .physical_counts
-            .physical_qubits
-            .cmp(&a.result.physical_counts.physical_qubits)
-    });
-    let mut frontier: Vec<FrontierPoint> = Vec::new();
-    let mut best_runtime = f64::INFINITY;
-    // Walk from fewest qubits (end) to most qubits, keeping points that
-    // strictly improve runtime; then restore descending-qubits order.
-    for p in points.into_iter().rev() {
-        if p.result.physical_counts.runtime_ns < best_runtime {
-            best_runtime = p.result.physical_counts.runtime_ns;
-            frontier.push(p);
+    // A non-finite runtime has no place on the frontier and would poison the
+    // strict-improvement walk (every NaN comparison is false);
+    // `pareto_indices` never selects such points — here we only warn.
+    for p in &points {
+        if !p.result.physical_counts.runtime_ns.is_finite() {
+            eprintln!(
+                "warning: dropping frontier point at max_t_factories={} with non-finite \
+                 runtime {}",
+                p.max_t_factories, p.result.physical_counts.runtime_ns
+            );
         }
     }
-    frontier.reverse();
-    Ok(frontier)
+    let kept = pareto_indices(
+        &points
+            .iter()
+            .map(|p| {
+                (
+                    p.result.physical_counts.physical_qubits,
+                    p.result.physical_counts.runtime_ns,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut points: Vec<Option<FrontierPoint>> = points.into_iter().map(Some).collect();
+    Ok(kept
+        .into_iter()
+        .map(|i| points[i].take().expect("pareto indices are distinct"))
+        .collect())
+}
+
+/// Pareto-reduce `(physical_qubits, runtime_ns)` pairs: the returned indices
+/// select the non-dominated points, ordered by strictly decreasing qubits
+/// and strictly increasing runtime. A point is dominated when another needs
+/// no more qubits and no more runtime; among exact (qubits, runtime) ties
+/// the earliest index survives. Non-finite runtimes are never selected.
+fn pareto_indices(points: &[(u64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].1.is_finite())
+        .collect();
+    // Ascending qubits; ties broken by ascending runtime (total_cmp: no
+    // NaN-induced incomparability even for the non-finite values filtered
+    // above), then by index for a deterministic survivor.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+            .then(a.cmp(&b))
+    });
+    // Walking from fewest qubits up, a point survives only by strictly
+    // beating the best runtime seen so far: equal-qubit ties keep exactly
+    // their fastest member, and spending more qubits must buy speed.
+    let mut kept: Vec<usize> = Vec::new();
+    let mut best_runtime = f64::INFINITY;
+    for i in order {
+        if points[i].1 < best_runtime {
+            best_runtime = points[i].1;
+            kept.push(i);
+        }
+    }
+    // Restore the descending-qubits (ascending-runtime) frontier order.
+    kept.reverse();
+    kept
 }
 
 #[cfg(test)]
@@ -183,6 +246,66 @@ mod tests {
         };
         let frontier = estimate_frontier(&est).unwrap();
         assert_eq!(frontier.len(), 1);
+    }
+
+    #[test]
+    fn pareto_reduction_resolves_qubit_ties_to_one_survivor() {
+        // Two points with equal qubit counts: the old strict-runtime walk
+        // kept both, violating the strictly-decreasing-qubits invariant.
+        let points = [(300, 50.0), (200, 100.0), (200, 80.0), (100, 400.0)];
+        let kept = pareto_indices(&points);
+        assert_eq!(kept, vec![0, 2, 3]);
+        for w in kept.windows(2) {
+            assert!(points[w[0]].0 > points[w[1]].0, "qubits strictly decrease");
+            assert!(
+                points[w[0]].1 < points[w[1]].1,
+                "runtime strictly increases"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_reduction_breaks_exact_ties_by_earliest_index() {
+        let kept = pareto_indices(&[(200, 80.0), (200, 80.0)]);
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn pareto_reduction_drops_non_finite_runtimes() {
+        // A NaN runtime used to poison best_runtime (every comparison with
+        // NaN is false), silently shadowing later points; infinities are
+        // equally meaningless on the frontier.
+        let points = [
+            (400, f64::NAN),
+            (300, 50.0),
+            (250, f64::INFINITY),
+            (200, 100.0),
+        ];
+        assert_eq!(pareto_indices(&points), vec![1, 3]);
+        assert_eq!(pareto_indices(&[(10, f64::NAN)]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pareto_reduction_drops_dominated_points() {
+        // (250, 70) dominates (300, 70): same runtime, fewer qubits.
+        let points = [(300, 70.0), (250, 70.0), (200, 90.0)];
+        assert_eq!(pareto_indices(&points), vec![1, 2]);
+    }
+
+    #[test]
+    fn frontier_observer_sees_every_cap_outcome() {
+        let engine = Estimator::new();
+        let mut observed = Vec::new();
+        let frontier = estimate_frontier_via(&engine, &estimation(), |o| {
+            observed.push((o.point.index, o.outcome.is_ok()));
+        })
+        .unwrap();
+        // Every cap re-estimate is observed (pre-reduction), so at least as
+        // many outcomes as surviving frontier points, each exactly once.
+        assert!(observed.len() >= frontier.len());
+        let mut indices: Vec<usize> = observed.iter().map(|&(i, _)| i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..observed.len()).collect::<Vec<_>>());
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //! ([`Estimator::estimate`]), job arrays ([`Estimator::estimate_batch`]),
 //! declared cartesian sweeps ([`Estimator::sweep`] over a [`SweepSpec`]),
 //! and trade-off frontiers ([`Estimator::frontier`]) — batches run in
-//! parallel with order-preserving, per-item outcomes. [`EstimationJob`] is
-//! the one-shot convenience wrapper; power users drive
+//! parallel with order-preserving, per-item outcomes. Every batch API also
+//! has a *streamed* form delivering outcomes in completion order: observer
+//! callbacks ([`Estimator::estimate_batch_with`], [`Estimator::sweep_with`],
+//! [`Estimator::frontier_with`]) and background-thread iterators
+//! ([`Estimator::estimate_batch_stream`], [`Estimator::sweep_stream`]).
+//! [`EstimationJob`] is the one-shot convenience wrapper; power users drive
 //! [`PhysicalResourceEstimation`] directly.
 
 #![deny(missing_docs)]
@@ -46,7 +50,9 @@ mod tfactory;
 
 pub use budget::ErrorBudget;
 pub use cache::{CacheStats, FactoryCache};
-pub use engine::{collect_results, BatchOutcome, Estimator, SweepOutcome};
+pub use engine::{
+    collect_results, BatchOutcome, BatchStream, Estimator, OutcomeStream, SweepOutcome, SweepStream,
+};
 pub use error::{Error, Result};
 pub use estimate::{Constraints, PhysicalResourceEstimation};
 pub use frontier::{estimate_frontier, FrontierPoint};

@@ -12,7 +12,9 @@
 //!
 //! * work distribution through a single shared atomic cursor (each worker
 //!   claims the next index; no work item is ever processed twice),
-//! * results gathered per worker and stitched back **in input order**, so
+//! * a single streamed execution core ([`parallel_map_streamed`]) that hands
+//!   `(index, result)` pairs to the caller **as workers finish**; the
+//!   collecting entry points stitch those pairs back into input order, so
 //!   `parallel_map` is a drop-in replacement for `iter().map().collect()`,
 //! * panics in workers propagate to the caller (the scope re-raises them on
 //!   join), preserving the fail-fast behaviour of sequential code.
@@ -26,6 +28,7 @@
 #![warn(clippy::all)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Upper bound on worker threads, overridable through the `QRE_THREADS`
 /// environment variable (useful for benchmarking scalability).
@@ -62,6 +65,22 @@ thread_local! {
     static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
+/// `true` while the current thread is inside a parallel worker's claim loop.
+///
+/// Helpers that move work onto a dedicated thread (e.g. a streaming iterator
+/// driving [`parallel_map_streamed`] in the background) should capture this
+/// flag and replay it on the new thread via [`set_in_parallel_worker`], so
+/// the nested-parallelism guard survives the thread hop.
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL_WORKER.with(std::cell::Cell::get)
+}
+
+/// Mark (or unmark) the current thread as a parallel worker context; see
+/// [`in_parallel_worker`].
+pub fn set_in_parallel_worker(value: bool) {
+    IN_PARALLEL_WORKER.with(|flag| flag.set(value));
+}
+
 /// Like [`parallel_map`], but `f` also receives the element index.
 pub fn parallel_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -69,56 +88,108 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // Collecting is streaming plus order restoration: place each delivered
+    // pair at its recorded index.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    parallel_map_streamed(items, f, |i, r| {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// The streamed execution core: apply `f` to every element in parallel and
+/// hand `(index, result)` pairs to `on_item` **in completion order**, as
+/// workers finish.
+///
+/// `on_item` runs on the calling thread, so it may close over `&mut` state
+/// without synchronization. Delivery order is nondeterministic under
+/// parallel execution; the index identifies the originating element. With a
+/// single worker (tiny input, `QRE_THREADS=1`, single-core machine, or a
+/// nested call from inside another parallel worker) the loop degrades to a
+/// sequential in-order pass. Panics raised by `f` propagate to the caller
+/// after already-finished items have been delivered.
+pub fn parallel_map_streamed<T, R, F, G>(items: &[T], f: F, mut on_item: G)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(usize, R),
+{
+    parallel_map_streamed_until(items, f, |i, r| {
+        on_item(i, r);
+        std::ops::ControlFlow::Continue(())
+    });
+}
+
+/// Like [`parallel_map_streamed`], but `on_item` can stop the run early by
+/// returning [`ControlFlow::Break`](std::ops::ControlFlow::Break): no
+/// further items are claimed, in-flight items finish undelivered, and the
+/// call returns once the workers have drained. This is the single execution
+/// core behind every map in this crate.
+pub fn parallel_map_streamed_until<T, R, F, G>(items: &[T], f: F, mut on_item: G)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    G: FnMut(usize, R) -> std::ops::ControlFlow<()>,
+{
     let n = items.len();
     let threads = max_threads().min(n);
     if threads <= 1 || IN_PARALLEL_WORKER.with(std::cell::Cell::get) {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        for (i, t) in items.iter().enumerate() {
+            if on_item(i, f(i, t)).is_break() {
+                return;
+            }
+        }
+        return;
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
-
     std::thread::scope(|scope| {
+        let (sender, receiver) = mpsc::channel::<(usize, R)>();
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
+            let sender = sender.clone();
             let cursor = &cursor;
             let f = &f;
             handles.push(scope.spawn(move || {
                 IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    if sender.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
                 }
-                local
             }));
+        }
+        // The receive loop ends when every worker has dropped its sender —
+        // normally (all items done) or by unwinding (a panic in `f`) — or
+        // when `on_item` breaks.
+        drop(sender);
+        for (i, r) in receiver {
+            if on_item(i, r).is_break() {
+                // Stop the claim loop (no new items) and hang up the
+                // channel (workers' next send fails), so the joins below
+                // only wait out the in-flight items.
+                cursor.store(n, Ordering::Relaxed);
+                break;
+            }
         }
         for handle in handles {
             // A panic inside a worker surfaces here as Err; re-raise it so the
             // caller sees the original panic payload (fail-fast semantics).
-            match handle.join() {
-                Ok(local) => per_worker.push(local),
-                Err(payload) => std::panic::resume_unwind(payload),
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
             }
         }
     });
-
-    // Stitch results back into input order without an extra sort: place each
-    // item at its recorded index.
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for local in per_worker {
-        for (i, r) in local {
-            debug_assert!(slots[i].is_none(), "index {i} produced twice");
-            slots[i] = Some(r);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index processed exactly once"))
-        .collect()
 }
 
 /// Parallel minimisation: return the element of `items` minimising `key`,
@@ -232,6 +303,113 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn streamed_delivers_every_index_with_its_result() {
+        let items: Vec<u64> = (0..257).collect();
+        let mut seen = vec![false; items.len()];
+        parallel_map_streamed(
+            &items,
+            |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            },
+            |i, r| {
+                assert!(!seen[i], "index {i} delivered twice");
+                seen[i] = true;
+                assert_eq!(r, items[i] * 3);
+            },
+        );
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn streamed_delivery_is_completion_order() {
+        // Item 0 sleeps, so under parallel execution (any worker count ≥ 2;
+        // only one item is slow, so the other worker is always on fast ones)
+        // some later item must arrive before it — i.e. delivery is
+        // completion order, not input order.
+        let items: Vec<u64> = (0..64).collect();
+        let mut order = Vec::new();
+        parallel_map_streamed(
+            &items,
+            |_, &x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                x
+            },
+            |i, _| order.push(i),
+        );
+        assert_eq!(order.len(), 64);
+        if max_threads() > 1 {
+            let slowest = order.iter().position(|&i| i == 0).unwrap();
+            assert!(slowest > 0, "a fast item should finish before the slow one");
+        }
+    }
+
+    #[test]
+    fn streamed_from_inside_a_worker_is_sequential_in_order() {
+        let outer: Vec<u64> = (0..8).collect();
+        let ok = parallel_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..32).collect();
+            let mut order = Vec::new();
+            parallel_map_streamed(&inner, |_, &y| x + y, |i, _| order.push(i));
+            order == (0..32).collect::<Vec<usize>>()
+        });
+        assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn streamed_until_break_stops_claiming_new_items() {
+        let processed = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let mut delivered = 0usize;
+        parallel_map_streamed_until(
+            &items,
+            |_, &x| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                // Slow items keep the in-flight window small, so the break
+                // lands before the workers can drain the whole input.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            },
+            |_, _| {
+                delivered += 1;
+                std::ops::ControlFlow::Break(())
+            },
+        );
+        assert_eq!(delivered, 1, "no delivery after the break");
+        assert!(
+            processed.load(Ordering::Relaxed) < items.len(),
+            "breaking must stop the claim loop before the input is drained"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "streamed boom")]
+    fn streamed_panics_propagate() {
+        let items: Vec<u64> = (0..128).collect();
+        parallel_map_streamed(
+            &items,
+            |_, &x| {
+                if x == 99 {
+                    panic!("streamed boom");
+                }
+                x
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    fn worker_flag_round_trips() {
+        assert!(!in_parallel_worker());
+        set_in_parallel_worker(true);
+        assert!(in_parallel_worker());
+        set_in_parallel_worker(false);
+        assert!(!in_parallel_worker());
     }
 
     #[test]

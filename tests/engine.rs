@@ -135,6 +135,65 @@ fn profile_sweep_hits_the_factory_cache_and_matches_cold_runs() {
 }
 
 #[test]
+fn streamed_sweep_is_bit_identical_to_collecting_sweep() {
+    let spec = SweepSpec::new()
+        .workload("w", counts(40_000))
+        .profiles(HardwareProfile::default_profiles())
+        .total_error_budget(1e-4);
+    let engine = Estimator::new();
+    let collected = engine.sweep(&spec).unwrap();
+
+    // Observer variant: every expansion index delivered exactly once, each
+    // outcome equal to the collecting API's entry at that index.
+    let mut seen = vec![false; collected.len()];
+    let total = engine
+        .sweep_with(&spec, |o| {
+            let i = o.point.index;
+            assert!(!seen[i], "index {i} delivered twice");
+            seen[i] = true;
+            assert_eq!(
+                o.outcome.as_ref().unwrap(),
+                collected[i].outcome.as_ref().unwrap()
+            );
+        })
+        .unwrap();
+    assert_eq!(total, collected.len());
+    assert!(seen.iter().all(|&s| s));
+
+    // Iterator variant: same contract through the background thread.
+    let stream = engine.sweep_stream(&spec).unwrap();
+    assert_eq!(stream.total(), collected.len());
+    let mut streamed: Vec<_> = stream.collect();
+    streamed.sort_by_key(|o| o.point.index);
+    for (a, b) in streamed.iter().zip(&collected) {
+        assert_eq!(a.point.index, b.point.index);
+        assert_eq!(a.point.profile, b.point.profile);
+        assert_eq!(a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+    }
+}
+
+#[test]
+fn streamed_batch_carries_correct_indices_under_uneven_load() {
+    // Mixed sizes: completion order differs from input order in parallel
+    // runs, so each delivered outcome must self-identify via its index.
+    let sizes: Vec<u64> = vec![500_000, 1_000, 200_000, 4_000, 90_000, 2_000];
+    let requests: Vec<EstimateRequest> = sizes.iter().map(|&t| request(t)).collect();
+    let engine = Estimator::new();
+    let mut delivered: Vec<(usize, u64)> = Vec::new();
+    engine.estimate_batch_with(&requests, |o| {
+        let t = o.outcome.as_ref().unwrap().pre_layout.t_count;
+        delivered.push((o.index, t));
+    });
+    assert_eq!(delivered.len(), sizes.len());
+    for (index, t_count) in delivered {
+        assert_eq!(
+            t_count, sizes[index],
+            "outcome at index {index} carries the wrong workload"
+        );
+    }
+}
+
+#[test]
 fn sweep_is_the_path_behind_the_figure_harness() {
     // estimate_multiplication (a singleton sweep) agrees with the direct
     // library path, tying the harness to the engine contract.
