@@ -4,11 +4,11 @@
 //! Shor-style "times a known constant" setting of Gidney's construction): `x`
 //! is scanned in windows of `w` bits, and each window performs
 //!
-//! 1. a QROM [`lookup`](crate::lookup::lookup) of the pre-computed multiple
+//! 1. a QROM [`lookup`](crate::lookup::lookup()) of the pre-computed multiple
 //!    `k·Y` (`k` = window value) into a temporary register — `2^w − 2` CCiX,
 //! 2. an in-place addition of the temporary into the accumulator slice at the
 //!    window offset, using the ancilla-lean CDKM adder — `≈ 2(n+w)` CCZ,
-//! 3. a measurement-based [`unlookup`](crate::lookup::unlookup) — `≈ 2√(2^w)`
+//! 3. a measurement-based [`unlookup`](crate::lookup::unlookup()) — `≈ 2√(2^w)`
 //!    CCiX plus one X-measurement per temporary bit.
 //!
 //! With `w ≈ log₂ n`, the total is `≈ n²/w · 3`-ish Toffoli-layer operations —

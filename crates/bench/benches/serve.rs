@@ -1,0 +1,95 @@
+//! Warm-server vs. cold-process throughput of the `qre serve` job loop.
+//!
+//! The serve mode's reason to exist is the process-wide factory cache: a
+//! session that keeps estimating amortizes the distillation-pipeline search
+//! across every job it runs, where a cold process re-searches per
+//! invocation. This harness feeds the same `JOBS` six-profile sweep jobs
+//!
+//! * through **one** serve session (`warm_server_ns` — jobs 2..n hit the
+//!   session cache), and
+//! * through one fresh session **per job** (`cold_process_ns` — the
+//!   one-process-per-job deployment this mode replaces),
+//!
+//! both with `max_in_flight: 1` so the comparison is pure cache effect, not
+//! scheduling. Medians over the samples are printed as JSON (the
+//! `BENCH_serve.json` shape) and written to
+//! `target/experiments/BENCH_serve.json`. `QRE_BENCH_SAMPLES` caps the
+//! sample count for quick CI runs.
+//!
+//! ```text
+//! cargo bench -p qre-bench --bench serve
+//! ```
+
+use std::time::Instant;
+
+use qre_cli::{serve, ServeOptions};
+
+const DEFAULT_SAMPLES: usize = 5;
+const JOBS: usize = 6;
+
+/// One six-profile sweep job line (the Figure 4 shape).
+fn job_line(id: usize) -> String {
+    format!(
+        "{{ \"id\": {id}, \"sweep\": {{ \
+         \"algorithms\": [ {{ \"logicalCounts\": {{ \
+         \"numQubits\": 2000, \"tCount\": 500000, \"cczCount\": 100000, \
+         \"measurementCount\": 500000 }} }} ], \
+         \"errorBudgets\": [ 1e-4 ] }} }}\n"
+    )
+}
+
+fn run_session(script: &str, options: &ServeOptions) -> usize {
+    let mut sink = std::io::sink();
+    let summary = serve(script.as_bytes(), &mut sink, options).expect("serve session succeeds");
+    assert_eq!(summary.job_errors, 0);
+    summary.records
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let samples = criterion::env_samples(DEFAULT_SAMPLES);
+    let options = ServeOptions { max_in_flight: 1 };
+    let script: String = (1..=JOBS).map(job_line).collect();
+
+    let mut warm: Vec<u128> = Vec::with_capacity(samples);
+    let mut cold: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        // Warm server: one session, all jobs share the design store.
+        let start = Instant::now();
+        let records = run_session(&script, &options);
+        warm.push(start.elapsed().as_nanos());
+        assert_eq!(records, JOBS * 7, "6 items + 1 stats record per job");
+
+        // Cold processes: a fresh session (fresh cache) per job.
+        let start = Instant::now();
+        for id in 1..=JOBS {
+            run_session(&job_line(id), &options);
+        }
+        cold.push(start.elapsed().as_nanos());
+    }
+
+    let warm_ns = median(warm);
+    let cold_ns = median(cold);
+    let per_sec = |total_ns: u128| JOBS as f64 / (total_ns as f64 / 1e9);
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_warm_server_vs_cold_process\",\n  \
+         \"samples\": {samples},\n  \"jobs\": {JOBS},\n  \"results\": {{\n    \
+         \"warm_server_ns\": {warm_ns},\n    \
+         \"cold_process_ns\": {cold_ns},\n    \
+         \"warm_jobs_per_sec\": {:.2},\n    \
+         \"cold_jobs_per_sec\": {:.2}\n  }},\n  \
+         \"speedup_warm_server_vs_cold_process\": {:.1}\n}}",
+        per_sec(warm_ns),
+        per_sec(cold_ns),
+        cold_ns as f64 / warm_ns as f64
+    );
+    println!("{json}");
+    match qre_bench::write_artifact("BENCH_serve.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -14,6 +14,7 @@
 //!
 //! Medians over the samples are printed as JSON (the `BENCH_stream.json`
 //! shape) and written to `target/experiments/BENCH_stream.json`.
+//! `QRE_BENCH_SAMPLES` caps the sample count for quick CI runs.
 //!
 //! ```text
 //! cargo bench -p qre-bench --bench streaming
@@ -24,7 +25,7 @@ use std::time::Instant;
 use qre_circuit::LogicalCounts;
 use qre_core::{Estimator, PhysicalQubit, SweepSpec};
 
-const SAMPLES: usize = 9;
+const DEFAULT_SAMPLES: usize = 9;
 
 fn six_profile_spec() -> SweepSpec {
     SweepSpec::new()
@@ -48,14 +49,15 @@ fn median(mut xs: Vec<u128>) -> u128 {
 }
 
 fn main() {
+    let samples = criterion::env_samples(DEFAULT_SAMPLES);
     let spec = six_profile_spec();
 
-    let mut first_streamed: Vec<u128> = Vec::with_capacity(SAMPLES);
-    let mut all_streamed: Vec<u128> = Vec::with_capacity(SAMPLES);
-    let mut collect: Vec<u128> = Vec::with_capacity(SAMPLES);
+    let mut first_streamed: Vec<u128> = Vec::with_capacity(samples);
+    let mut all_streamed: Vec<u128> = Vec::with_capacity(samples);
+    let mut collect: Vec<u128> = Vec::with_capacity(samples);
     let mut items = 0usize;
 
-    for _ in 0..SAMPLES {
+    for _ in 0..samples {
         // Streamed, cold: time to first yielded outcome, then to exhaustion.
         let engine = Estimator::new();
         let start = Instant::now();
@@ -79,7 +81,7 @@ fn main() {
     let collect_ns = median(collect);
     let json = format!(
         "{{\n  \"benchmark\": \"stream_six_profiles_time_to_first_result\",\n  \
-         \"samples\": {SAMPLES},\n  \"items\": {items},\n  \"results\": {{\n    \
+         \"samples\": {samples},\n  \"items\": {items},\n  \"results\": {{\n    \
          \"first_streamed_ns\": {first_ns},\n    \"all_streamed_ns\": {all_ns},\n    \
          \"collect_ns\": {collect_ns}\n  }},\n  \
          \"speedup_first_result_vs_collect\": {:.1}\n}}",

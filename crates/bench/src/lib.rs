@@ -467,9 +467,19 @@ pub fn format_claims(checks: &[ClaimCheck]) -> String {
     out
 }
 
-/// Write a string to `target/experiments/` and return the path.
+/// Write a string to the workspace's `target/experiments/` and return the
+/// path.
+///
+/// Anchored at the workspace root (two levels above this crate) rather than
+/// the current directory: cargo runs bench executables with the *package*
+/// directory as CWD, which would otherwise scatter artifacts into
+/// `crates/bench/target/` where CI's artifact upload cannot find them.
 pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("target").join("experiments");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root");
+    let dir = root.join("target").join("experiments");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(name);
     std::fs::write(&path, contents)?;

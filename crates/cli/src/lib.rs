@@ -51,9 +51,19 @@
 //! interleaved with periodic `{"progress": k, "total": n}` records — the
 //! right shape for the paper's large Fig. 3/4-scale sweeps where waiting on
 //! the slowest item before printing anything wastes the session.
+//!
+//! Beyond one-shot submissions, [`serve`] runs a **long-lived job server**:
+//! one JSON job per input line, completion-order NDJSON records out, a
+//! process-wide factory cache kept warm across jobs, and per-job `"shard"`
+//! fields so several server processes can split one sweep deterministically
+//! (see the [`serve`] module docs for the line protocol).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+
+mod serve;
+
+pub use serve::{serve, ServeOptions, ServeSummary};
 
 use std::io::Write;
 
@@ -123,12 +133,19 @@ fn check_fields(v: &Value, context: &str, accepted: &[&str]) -> Result<(), Strin
 /// `{"sweep": {...}}`, each optionally with top-level `"stream": true`.
 pub fn parse_submission(text: &str) -> Result<Submission, String> {
     let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
+    parse_submission_value(&doc)
+}
+
+/// [`parse_submission`] over an already-parsed JSON document — the entry
+/// point for callers (like the serve loop) that strip transport-level
+/// fields from the document before submission parsing.
+pub fn parse_submission_value(doc: &Value) -> Result<Submission, String> {
     let stream = match doc.get("stream") {
         None => false,
         Some(v) => v.as_bool().ok_or("`stream` must be a boolean")?,
     };
     let kind = if let Some(items) = doc.get("items") {
-        check_fields(&doc, "", &["items", "stream"])?;
+        check_fields(doc, "", &["items", "stream"])?;
         let items = items
             .as_array()
             .ok_or("`items` must be an array of job objects")?;
@@ -145,25 +162,24 @@ pub fn parse_submission(text: &str) -> Result<Submission, String> {
                     "items[{i}]: `stream` is a submission-level option; set it at the top level"
                 ));
             }
-            let spec =
-                parse_job(&item.to_string_compact()).map_err(|e| format!("items[{i}]: {e}"))?;
+            let spec = parse_job_value(item).map_err(|e| format!("items[{i}]: {e}"))?;
             jobs.push(spec);
         }
         SubmissionKind::Batch(jobs)
     } else if let Some(sweep) = doc.get("sweep") {
-        check_fields(&doc, "", &["sweep", "stream"])?;
+        check_fields(doc, "", &["sweep", "stream"])?;
         SubmissionKind::Sweep(Box::new(parse_sweep(sweep)?))
     } else {
-        SubmissionKind::Single(Box::new(parse_job(text)?))
+        SubmissionKind::Single(Box::new(parse_job_value(doc)?))
     };
     Ok(Submission { stream, kind })
 }
 
 /// Render one finished sweep item — its axis coordinates plus the result or
-/// in-place error — as a JSON object. Shared by the collecting and streamed
-/// output paths, so a streamed record is field-for-field identical to the
-/// matching entry of the monolithic document.
-fn sweep_item_json(o: &qre_core::SweepOutcome) -> Value {
+/// in-place error — as a JSON object. Shared by the collecting, streamed,
+/// and serve output paths, so a streamed record is field-for-field identical
+/// to the matching entry of the monolithic document.
+pub(crate) fn sweep_item_json(o: &qre_core::SweepOutcome) -> Value {
     let c = &o.point.constraints;
     let constraints = ObjectBuilder::new()
         .field_opt("logicalDepthFactor", c.logical_depth_factor)
@@ -376,10 +392,15 @@ const JOB_FIELDS: &[&str] = &[
 /// Parse and validate a JSON job document.
 pub fn parse_job(text: &str) -> Result<JobSpec, String> {
     let doc = qre_json::parse(text).map_err(|e| e.to_string())?;
+    parse_job_value(&doc)
+}
+
+/// [`parse_job`] over an already-parsed JSON document.
+pub fn parse_job_value(doc: &Value) -> Result<JobSpec, String> {
     if doc.as_object().is_none() {
         return Err("job specification must be a JSON object".into());
     }
-    check_fields(&doc, "", JOB_FIELDS)?;
+    check_fields(doc, "", JOB_FIELDS)?;
 
     let counts = parse_algorithm(
         doc.get("algorithm")

@@ -5,12 +5,17 @@
 //! qre -                     read the job from stdin
 //! qre --report <job.json>   human-readable report instead of JSON
 //! qre --compact <job.json>  single-line JSON
+//! qre serve [--jobs N]      long-running job server: one JSON job per
+//!                           stdin line, NDJSON records to stdout
 //! qre --help                usage
 //! ```
 //!
 //! A submission with top-level `"stream": true` emits NDJSON — one record
 //! per finished item in completion order, plus `{"progress": k, "total": n}`
-//! records — instead of one monolithic document.
+//! records — instead of one monolithic document. `qre serve` keeps one
+//! process-wide factory cache warm across jobs; see the `qre_cli::serve`
+//! docs for the line protocol (including per-job `"shard"` fields that let
+//! several server processes split one sweep).
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -20,16 +25,66 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
      \x20 qre [--report | --compact] <job.json | ->\n\
+     \x20 qre serve [--jobs N]\n\
      \n\
      The job file is a JSON specification; see the qre-cli crate docs for the\n\
      schema. `-` reads the job from stdin. Output is pretty-printed JSON by\n\
      default, `--compact` emits one line, `--report` renders a text report.\n\
      A submission with top-level \"stream\": true emits NDJSON records as\n\
-     items finish, interleaved with {\"progress\": k, \"total\": n} lines.\n"
+     items finish, interleaved with {\"progress\": k, \"total\": n} lines.\n\
+     \n\
+     `qre serve` reads one JSON job per stdin line until EOF and writes\n\
+     completion-order NDJSON records (every record carries its \"job\" id;\n\
+     each job ends with a \"stats\" record). Malformed lines yield error\n\
+     records and the session continues. `--jobs N` bounds how many jobs\n\
+     estimate concurrently (default 2).\n"
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut options = qre_cli::ServeOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let value = iter.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n >= 1 => options.max_in_flight = n,
+                    _ => {
+                        eprintln!("--jobs requires an integer of at least 1\n\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unexpected serve argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let stdin = std::io::stdin();
+    // `Stdout` (not its `!Send` lock): the serve writer thread owns the
+    // handle and locks per line.
+    let mut out = std::io::stdout();
+    match qre_cli::serve(stdin.lock(), &mut out, &options) {
+        Ok(summary) => {
+            eprintln!(
+                "serve: {} job(s), {} error(s), {} record(s)",
+                summary.jobs, summary.job_errors, summary.records
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     let mut report = false;
     let mut compact = false;
     let mut input: Option<String> = None;

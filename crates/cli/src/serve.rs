@@ -1,0 +1,441 @@
+//! Job-server mode: a long-running NDJSON estimation service.
+//!
+//! [`serve`] reads **one JSON job per line** from its input and writes
+//! **completion-order NDJSON records** to its output, mirroring the cloud
+//! submission loop of paper Section IV-A as a persistent local service: the
+//! session keeps one process-wide factory-design store alive across jobs, so
+//! a sweep re-run (or a related scenario) hits the warm cache instead of
+//! repeating the distillation-pipeline search.
+//!
+//! ## Input protocol
+//!
+//! Each non-blank line is a JSON object in any of the one-shot CLI's
+//! submission forms (a single job, `{"items": [...]}`, `{"sweep": {...}}`),
+//! plus two serve-level fields:
+//!
+//! * `"id"` — string or number echoed into every record the job produces
+//!   (default: the job's 1-based arrival ordinal),
+//! * `"shard": {"index": i, "count": n}` — restrict a `"sweep"` job to
+//!   shard `i` of `n` of its row-major expansion, so `n` server processes
+//!   fed the same sweep line (with different indices) deterministically
+//!   partition it; records keep their *global* sweep indices, making the
+//!   shard union item-for-item identical to the unsharded sweep.
+//!
+//! A top-level `"stream"` flag is accepted and ignored: serve output is
+//! always NDJSON.
+//!
+//! ## Output protocol
+//!
+//! Every record is one JSON object whose first field is `"job"` (the id):
+//!
+//! * item records — field-for-field the records `"stream": true` emits in
+//!   the one-shot CLI (single-job result objects, indexed batch items,
+//!   sweep items with axis coordinates), in completion order,
+//! * one final `{"job": .., "stats": {...}}` record per job with the item
+//!   count, in-place error count, this job's exact factory-cache hit/miss
+//!   counters (scoped to the job even while jobs run concurrently), and the
+//!   process-wide design-store size,
+//! * `{"job": .., "status": "error", "message": ..}` for a line that fails
+//!   to parse or validate — the session continues; malformed input never
+//!   kills the server.
+//!
+//! Jobs run concurrently up to [`ServeOptions::max_in_flight`] (each job
+//! already parallelizes internally), so one slow sweep does not starve the
+//! lines behind it; records from concurrent jobs interleave, which is why
+//! every record names its job.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use qre_core::{Estimator, FactoryCache, Shard};
+use qre_json::{ObjectBuilder, Value};
+
+use crate::{sweep_item_json, Submission, SubmissionKind};
+
+/// Knobs of one [`serve`] session.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum number of jobs estimating concurrently; further lines wait
+    /// (the input is still consumed one line at a time, so the bound also
+    /// limits read-ahead). At least 1; `1` runs jobs strictly in arrival
+    /// order.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        // Jobs fan out internally through qre-par; two concurrent jobs keep
+        // a slow sweep from blocking the queue without multiplying the
+        // worker-thread count by the queue length.
+        ServeOptions { max_in_flight: 2 }
+    }
+}
+
+/// What a [`serve`] session did, for logging and exit decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Non-blank input lines consumed (== jobs attempted).
+    pub jobs: usize,
+    /// Jobs that produced a job-level error record: an unparseable line, an
+    /// invalid submission, or a bad `shard`. Estimation failures *inside* a
+    /// job (a failing single estimate, a failing batch/sweep item) are
+    /// reported in place and tallied in that job's `"stats"` record, not
+    /// here.
+    pub job_errors: usize,
+    /// NDJSON records written.
+    pub records: usize,
+}
+
+/// Run a job-server session: read one JSON job per line from `input` until
+/// EOF, write completion-order NDJSON records to `output` (line-buffered,
+/// flushed per record), and return a summary.
+///
+/// All jobs share one process-wide factory-design store; each job counts its
+/// own cache hits and misses exactly (reported in its `"stats"` record).
+/// Returns `Err` only for transport failures — an unreadable input or an
+/// output that stops accepting writes; malformed job lines produce error
+/// records and the session continues.
+pub fn serve<R, W>(input: R, output: &mut W, options: &ServeOptions) -> Result<ServeSummary, String>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let store = Arc::new(FactoryCache::new());
+    let gate = qre_par::Semaphore::new(options.max_in_flight);
+    let (sender, receiver) = mpsc::channel::<Value>();
+    let job_errors = AtomicUsize::new(0);
+    // Set by the writer thread when the output dies (e.g. a downstream
+    // `head` closed the pipe): the session has no one left to deliver to,
+    // so the reader stops consuming lines and running jobs bail out instead
+    // of estimating into the void until stdin EOF.
+    let output_dead = AtomicBool::new(false);
+
+    let mut jobs = 0usize;
+    let mut fatal: Option<String> = None;
+    let written = std::thread::scope(|scope| {
+        let writer = scope.spawn({
+            let output_dead = &output_dead;
+            move || -> Result<usize, String> {
+                let mut written = 0usize;
+                for record in receiver {
+                    if let Err(e) = writeln!(output, "{}", record.to_string_compact())
+                        .and_then(|()| output.flush())
+                    {
+                        output_dead.store(true, Ordering::Relaxed);
+                        return Err(format!("failed to write serve output: {e}"));
+                    }
+                    written += 1;
+                }
+                Ok(written)
+            }
+        });
+
+        for line in input.lines() {
+            if output_dead.load(Ordering::Relaxed) {
+                break;
+            }
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    fatal = Some(format!("failed to read serve input: {e}"));
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            jobs += 1;
+            let ordinal = jobs;
+            // Backpressure: block here (not reading further lines) while
+            // `max_in_flight` jobs are running.
+            let permit = gate.acquire();
+            let sender = sender.clone();
+            let store = Arc::clone(&store);
+            let job_errors = &job_errors;
+            let output_dead = &output_dead;
+            scope.spawn(move || {
+                let _permit = permit;
+                if output_dead.load(Ordering::Relaxed) {
+                    return;
+                }
+                if !run_serve_job(&line, ordinal, &store, &sender) {
+                    job_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Hang up our sender; the writer drains until the last job thread
+        // drops its clone, then reports how much it wrote.
+        drop(sender);
+        match writer.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    });
+
+    if let Some(message) = fatal {
+        return Err(message);
+    }
+    Ok(ServeSummary {
+        jobs,
+        job_errors: job_errors.load(Ordering::Relaxed),
+        records: written?,
+    })
+}
+
+/// Concatenate two JSON objects' fields (`head`'s first); a non-object
+/// `tail` passes through unchanged.
+fn merge_objects(head: Value, tail: Value) -> Value {
+    match (head, tail) {
+        (Value::Object(mut pairs), Value::Object(tail)) => {
+            pairs.extend(tail);
+            Value::Object(pairs)
+        }
+        (_, v) => v,
+    }
+}
+
+/// Emit `{"job": id, ...tail}` — every serve record leads with its job id.
+fn job_record(id: &Value, tail: Value) -> Value {
+    merge_objects(ObjectBuilder::new().field("job", id.clone()).build(), tail)
+}
+
+fn error_record(id: &Value, message: String) -> Value {
+    job_record(
+        id,
+        ObjectBuilder::new()
+            .field("status", "error")
+            .field("message", message)
+            .build(),
+    )
+}
+
+/// Serve-level fields stripped from a line before submission parsing.
+struct ServeEnvelope {
+    id: Value,
+    shard: Option<Shard>,
+    submission: Value,
+}
+
+/// Split a parsed line into its serve envelope (id, shard) and the plain
+/// submission document the one-shot parser understands.
+fn parse_envelope(doc: Value, ordinal: usize) -> Result<ServeEnvelope, (Value, String)> {
+    let Value::Object(pairs) = doc else {
+        return Err((
+            Value::from(ordinal as u64),
+            "job line must be a JSON object".into(),
+        ));
+    };
+    let mut id = Value::from(ordinal as u64);
+    let mut shard_value: Option<Value> = None;
+    let mut rest = Vec::with_capacity(pairs.len());
+    for (key, value) in pairs {
+        match key.as_str() {
+            "id" => match value {
+                Value::Str(_) | Value::Num(_) => id = value,
+                _ => {
+                    return Err((id, "serve `id` must be a string or a number".into()));
+                }
+            },
+            "shard" => shard_value = Some(value),
+            _ => rest.push((key, value)),
+        }
+    }
+    let shard = match shard_value {
+        None => None,
+        Some(v) => Some(parse_shard(&v).map_err(|e| (id.clone(), e))?),
+    };
+    Ok(ServeEnvelope {
+        id,
+        shard,
+        submission: Value::Object(rest),
+    })
+}
+
+/// Parse and validate `{"index": i, "count": n}`.
+fn parse_shard(v: &Value) -> Result<Shard, String> {
+    if v.as_object().is_none() {
+        return Err("`shard` must be an object with `index` and `count`".into());
+    }
+    crate::check_fields(v, "shard", &["index", "count"])?;
+    let field = |name: &str| -> Result<usize, String> {
+        v.get(name)
+            .ok_or_else(|| format!("`shard` requires an integer `{name}`"))?
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| format!("`shard.{name}` must be a non-negative integer"))
+    };
+    Shard::new(field("index")?, field("count")?).map_err(|e| e.to_string())
+}
+
+/// Parse and execute one job line, pushing records to `sender`. Returns
+/// `false` when the job produced a job-level error record.
+fn run_serve_job(
+    line: &str,
+    ordinal: usize,
+    store: &Arc<FactoryCache>,
+    sender: &mpsc::Sender<Value>,
+) -> bool {
+    // `false` once the receiver is gone (the writer died): the session is
+    // over, and batch/sweep execution stops instead of estimating items
+    // nobody will read.
+    let mut emit = |record: Value| sender.send(record).is_ok();
+    let doc = match qre_json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            emit(error_record(
+                &Value::from(ordinal as u64),
+                format!("invalid job: {e}"),
+            ));
+            return false;
+        }
+    };
+    let envelope = match parse_envelope(doc, ordinal) {
+        Ok(envelope) => envelope,
+        Err((id, message)) => {
+            emit(error_record(&id, format!("invalid job: {message}")));
+            return false;
+        }
+    };
+    let id = envelope.id;
+    let submission = match crate::parse_submission_value(&envelope.submission) {
+        Ok(submission) => submission,
+        Err(e) => {
+            emit(error_record(&id, format!("invalid job: {e}")));
+            return false;
+        }
+    };
+
+    // One engine per job over the shared design store: hits and misses are
+    // counted exactly for this job, however many jobs run concurrently.
+    let engine = Estimator::with_cache(Arc::new(store.scoped()));
+    match execute(&engine, submission, envelope.shard, &id, &mut emit) {
+        Ok(counts) => {
+            emit(stats_record(&id, &engine, envelope.shard, counts));
+            true
+        }
+        Err(message) => {
+            emit(error_record(&id, message));
+            false
+        }
+    }
+}
+
+/// Per-job item/error tally feeding the `"stats"` record.
+#[derive(Debug, Clone, Copy)]
+struct ItemCounts {
+    items: usize,
+    errors: usize,
+}
+
+/// Execute a submission's payload, emitting completion-order item records.
+/// When `emit` reports a dead session, batch and sweep execution stop after
+/// the in-flight items instead of finishing undeliverable work.
+fn execute(
+    engine: &Estimator,
+    submission: Submission,
+    shard: Option<Shard>,
+    id: &Value,
+    emit: &mut impl FnMut(Value) -> bool,
+) -> Result<ItemCounts, String> {
+    if shard.is_some() && !matches!(submission.kind, SubmissionKind::Sweep(_)) {
+        return Err("`shard` applies only to `sweep` jobs".into());
+    }
+    match submission.kind {
+        SubmissionKind::Single(spec) => match crate::run_job_via(engine, &spec) {
+            Ok(value) => {
+                emit(job_record(id, value));
+                Ok(ItemCounts {
+                    items: 1,
+                    errors: 0,
+                })
+            }
+            // Unlike the one-shot CLI, a failing single job must not end the
+            // session: report it in place and keep serving.
+            Err(e) => {
+                emit(error_record(id, e));
+                Ok(ItemCounts {
+                    items: 1,
+                    errors: 1,
+                })
+            }
+        },
+        SubmissionKind::Batch(jobs) => {
+            let errors = std::sync::atomic::AtomicUsize::new(0);
+            qre_par::parallel_map_streamed_until(
+                &jobs,
+                |_, spec| match crate::run_job_via(engine, spec) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        ObjectBuilder::new()
+                            .field("status", "error")
+                            .field("message", e)
+                            .build()
+                    }
+                },
+                |index, value| {
+                    let indexed = ObjectBuilder::new().field("index", index as u64).build();
+                    if emit(job_record(id, merge_objects(indexed, value))) {
+                        std::ops::ControlFlow::Continue(())
+                    } else {
+                        std::ops::ControlFlow::Break(())
+                    }
+                },
+            );
+            Ok(ItemCounts {
+                items: jobs.len(),
+                errors: errors.load(Ordering::Relaxed),
+            })
+        }
+        SubmissionKind::Sweep(spec) => {
+            let spec = match shard {
+                Some(s) => (*spec)
+                    .shard_of(s.index, s.count)
+                    .map_err(|e| e.to_string())?,
+                None => *spec,
+            };
+            let mut counts = ItemCounts {
+                items: 0,
+                errors: 0,
+            };
+            let stream = engine.sweep_stream(&spec).map_err(|e| e.to_string())?;
+            for outcome in stream {
+                counts.items += 1;
+                if outcome.outcome.is_err() {
+                    counts.errors += 1;
+                }
+                if !emit(job_record(id, sweep_item_json(&outcome))) {
+                    // Dropping the stream cancels the remaining items.
+                    break;
+                }
+            }
+            Ok(counts)
+        }
+    }
+}
+
+/// The job's closing `"stats"` record.
+fn stats_record(id: &Value, engine: &Estimator, shard: Option<Shard>, counts: ItemCounts) -> Value {
+    let cache = engine.cache_stats();
+    let mut stats = ObjectBuilder::new()
+        .field("items", counts.items as u64)
+        .field("errors", counts.errors as u64)
+        .field("cacheHits", cache.hits)
+        .field("cacheMisses", cache.misses)
+        .field("cacheEntries", cache.entries as u64);
+    if let Some(s) = shard {
+        stats = stats.field(
+            "shard",
+            ObjectBuilder::new()
+                .field("index", s.index as u64)
+                .field("count", s.count as u64)
+                .build(),
+        );
+    }
+    job_record(
+        id,
+        ObjectBuilder::new().field("stats", stats.build()).build(),
+    )
+}

@@ -19,7 +19,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::error::Result;
 use crate::physical_qubit::{InstructionSet, PhysicalQubit};
@@ -148,9 +148,15 @@ pub struct CacheStats {
 }
 
 /// Thread-safe memo table for T-factory pipeline searches.
+///
+/// The design *store* sits behind its own [`Arc`], separate from the
+/// hit/miss counters, so [`FactoryCache::scoped`] can hand out sibling
+/// cache views that share every memoized design while counting their own
+/// lookups — the shape a long-running job server needs: one process-wide
+/// store, exact per-job statistics even while jobs run concurrently.
 #[derive(Debug, Default)]
 pub struct FactoryCache {
-    designs: Mutex<HashMap<FactoryKey, Result<TFactory>>>,
+    designs: Arc<Mutex<HashMap<FactoryKey, Result<TFactory>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -159,6 +165,18 @@ impl FactoryCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A sibling view of this cache: it shares the stored designs (a hit in
+    /// either is visible to both) but starts from zeroed hit/miss counters,
+    /// so a caller can attribute lookups to one scope (e.g. one server job)
+    /// exactly, even while other scopes use the same store concurrently.
+    pub fn scoped(&self) -> FactoryCache {
+        FactoryCache {
+            designs: Arc::clone(&self.designs),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Memoized [`TFactoryBuilder::find_factory`]: returns the cached design
@@ -205,7 +223,9 @@ impl FactoryCache {
         }
     }
 
-    /// Drop every stored design and reset the counters.
+    /// Drop every stored design and reset this view's counters. The store
+    /// is shared with every [`FactoryCache::scoped`] sibling, so their
+    /// entries disappear too; their counters are their own and keep counting.
     pub fn clear(&self) {
         self.designs.lock().expect("factory cache lock").clear();
         self.hits.store(0, Ordering::Relaxed);
@@ -305,6 +325,29 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(r, &results[0], "all racers see the first-written design");
         }
+    }
+
+    #[test]
+    fn scoped_views_share_designs_but_not_counters() {
+        let (b, q, s) = problem();
+        let base = FactoryCache::new();
+        base.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert_eq!(base.stats().misses, 1);
+
+        // A scope opened afterwards sees the stored design as a hit…
+        let job = base.scoped();
+        assert_eq!((job.stats().hits, job.stats().misses), (0, 0));
+        job.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert_eq!((job.stats().hits, job.stats().misses), (1, 0));
+        // …without touching the base view's counters.
+        assert_eq!((base.stats().hits, base.stats().misses), (0, 1));
+
+        // A miss inside a scope populates the shared store for everyone.
+        job.find_factory(&b, &q, &s, 1e-11).unwrap();
+        assert_eq!(job.stats().misses, 1);
+        assert_eq!(base.stats().entries, 2);
+        base.find_factory(&b, &q, &s, 1e-11).unwrap();
+        assert_eq!(base.stats().hits, 1);
     }
 
     #[test]

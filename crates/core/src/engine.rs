@@ -78,7 +78,7 @@ pub struct BatchOutcome {
 }
 
 /// Outcome of one sweep item, in expansion (row-major) order.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// The item's axis coordinates.
     pub point: SweepPoint,
@@ -399,6 +399,34 @@ impl<O> Drop for OutcomeStream<O> {
     }
 }
 
+/// Merge the outcomes of a sweep's shards back into the full expansion
+/// order, verifying completeness.
+///
+/// This is the join side of [`crate::SweepSpec::shard`]: run each shard
+/// (possibly in a different process), collect the per-shard outcome vectors,
+/// and merge. Outcomes are sorted by their global `point.index`; the merge
+/// fails with [`Error::InvalidInput`] if the union has a duplicate or
+/// missing index — i.e. unless the shards came from one spec partitioned by
+/// a single `(count)` — so a successful merge *is* the proof that the union
+/// covers the unsharded sweep exactly.
+pub fn merge_sharded(
+    shards: impl IntoIterator<Item = Vec<SweepOutcome>>,
+) -> Result<Vec<SweepOutcome>> {
+    let mut merged: Vec<SweepOutcome> = shards.into_iter().flatten().collect();
+    merged.sort_by_key(|o| o.point.index);
+    for (expected, outcome) in merged.iter().enumerate() {
+        let found = outcome.point.index;
+        if found != expected {
+            return Err(Error::InvalidInput(format!(
+                "sharded outcomes do not cover the sweep: expected item index {expected}, \
+                 found {found} ({} item(s) total)",
+                merged.len()
+            )));
+        }
+    }
+    Ok(merged)
+}
+
 /// Split batch outcomes into ordered successes, keeping the first error
 /// together with the index of the item that produced it.
 ///
@@ -582,6 +610,52 @@ mod tests {
     fn sweep_stream_reports_expansion_errors_eagerly() {
         let engine = Estimator::new();
         assert!(engine.sweep_stream(&SweepSpec::new()).is_err());
+    }
+
+    #[test]
+    fn sharded_sweeps_merge_to_the_unsharded_result() {
+        let spec = SweepSpec::new()
+            .workload("w", counts(10_000))
+            .profiles(PhysicalQubit::default_profiles())
+            .total_error_budget(1e-4)
+            .total_error_budget(1e-3);
+        let engine = Estimator::new();
+        let full = engine.sweep(&spec).unwrap();
+        assert_eq!(full.len(), 12);
+
+        // Each shard on its own engine, as separate server processes would.
+        let per_shard: Vec<Vec<SweepOutcome>> = spec
+            .shard(5)
+            .unwrap()
+            .iter()
+            .map(|shard| Estimator::new().sweep(shard).unwrap())
+            .collect();
+        let merged = merge_sharded(per_shard).unwrap();
+        assert_eq!(merged.len(), full.len());
+        for (m, f) in merged.iter().zip(&full) {
+            assert_eq!(m.point.index, f.point.index);
+            assert_eq!(m.point.profile, f.point.profile);
+            assert_eq!(m.outcome.as_ref().unwrap(), f.outcome.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_sharded_rejects_gaps_and_duplicates() {
+        let spec = SweepSpec::new()
+            .workload("w", counts(2_000))
+            .profiles(PhysicalQubit::default_profiles());
+        let engine = Estimator::new();
+        let shards = spec.shard(3).unwrap();
+        let a = engine.sweep(&shards[0]).unwrap();
+        let c = engine.sweep(&shards[2]).unwrap();
+
+        // Missing middle shard: the gap is named.
+        let err = merge_sharded(vec![a.clone(), c.clone()]).unwrap_err();
+        assert!(err.to_string().contains("expected item index 2"), "{err}");
+
+        // Duplicate shard: the repeat is caught too.
+        let b = engine.sweep(&shards[1]).unwrap();
+        assert!(merge_sharded(vec![a.clone(), a, b, c]).is_err());
     }
 
     #[test]

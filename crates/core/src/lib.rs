@@ -51,7 +51,8 @@ mod tfactory;
 pub use budget::ErrorBudget;
 pub use cache::{CacheStats, FactoryCache};
 pub use engine::{
-    collect_results, BatchOutcome, BatchStream, Estimator, OutcomeStream, SweepOutcome, SweepStream,
+    collect_results, merge_sharded, BatchOutcome, BatchStream, Estimator, OutcomeStream,
+    SweepOutcome, SweepStream,
 };
 pub use error::{Error, Result};
 pub use estimate::{Constraints, PhysicalResourceEstimation};
@@ -60,7 +61,9 @@ pub use job::{EstimationJob, EstimationJobBuilder};
 pub use layout::{layout, post_layout_logical_qubits, t_states_per_rotation, LogicalLayout};
 pub use physical_qubit::{InstructionSet, PhysicalQubit};
 pub use qec::{LogicalQubit, QecScheme, QecSchemeKind};
-pub use request::{EstimateRequest, EstimateRequestBuilder, SweepPoint, SweepScheme, SweepSpec};
+pub use request::{
+    EstimateRequest, EstimateRequestBuilder, Shard, SweepPoint, SweepScheme, SweepSpec,
+};
 pub use result::{
     format_duration_ns, format_sci, group_digits, EstimationResult, PhysicalCounts,
     ResourceBreakdown,

@@ -262,6 +262,49 @@ impl SweepScheme {
     }
 }
 
+/// One shard of a sweep's row-major expansion: shard `index` of `count`
+/// owns a contiguous block of the expanded item range, with block sizes
+/// balanced to within one item. Shard boundaries are a pure function of
+/// `(index, count, total items)`, so `count` cooperating processes that
+/// each apply their own shard to the *same* [`SweepSpec`] partition the
+/// sweep deterministically with no coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Which shard this is (`0..count`).
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Validate and build a shard descriptor. `count` must be at least 1
+    /// and `index` strictly less than `count`.
+    pub fn new(index: usize, count: usize) -> Result<Shard> {
+        if count == 0 {
+            return Err(Error::InvalidInput(
+                "`shard.count` must be at least 1".into(),
+            ));
+        }
+        if index >= count {
+            return Err(Error::InvalidInput(format!(
+                "`shard.index` must be less than `shard.count`, got index {index} with count {count}"
+            )));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// The contiguous range of expanded item indices this shard owns, given
+    /// the sweep's total item count. The first `total % count` shards get
+    /// one extra item; with `count > total` the trailing shards are empty.
+    pub fn range(&self, total: usize) -> std::ops::Range<usize> {
+        let base = total / self.count;
+        let remainder = total % self.count;
+        let start = self.index * base + self.index.min(remainder);
+        let len = base + usize::from(self.index < remainder);
+        start..start + len
+    }
+}
+
 /// Declared axes of a sweep; the engine expands the cartesian product
 /// workloads × profiles × schemes × budgets × constraints in row-major
 /// order (workloads outermost, constraints innermost).
@@ -301,6 +344,11 @@ pub struct SweepSpec {
     pub constraints: Vec<Constraints>,
     /// T-factory search configuration shared by every item.
     pub factory_builder: TFactoryBuilder,
+    /// Restrict execution to one shard of the row-major expansion (`None`
+    /// runs the full product). Expanded [`SweepPoint`]s keep their *global*
+    /// indices, so the union of all shards' outcomes is item-for-item the
+    /// unsharded sweep.
+    pub shard: Option<Shard>,
 }
 
 impl Default for SweepSpec {
@@ -319,6 +367,7 @@ impl SweepSpec {
             budgets: Vec::new(),
             constraints: Vec::new(),
             factory_builder: TFactoryBuilder::default(),
+            shard: None,
         }
     }
 
@@ -394,8 +443,50 @@ impl SweepSpec {
         self
     }
 
-    /// Number of items the cartesian product expands to.
+    /// Restrict this spec to shard `index` of `count` (row-major contiguous
+    /// partition; see [`Shard`]). Sharding an already-sharded spec is
+    /// rejected — nested partitions of a partition are ambiguous.
+    pub fn shard_of(mut self, index: usize, count: usize) -> Result<SweepSpec> {
+        if self.shard.is_some() {
+            return Err(Error::InvalidInput(
+                "sweep is already sharded; shard the original spec instead".into(),
+            ));
+        }
+        self.shard = Some(Shard::new(index, count)?);
+        Ok(self)
+    }
+
+    /// Split this spec into `count` shards covering the whole row-major
+    /// expansion: `spec.shard(n)[i]` equals `spec.shard_of(i, n)`. Shards
+    /// beyond the item count come back empty ([`SweepSpec::len`] of 0), so
+    /// `count` may exceed the number of expanded items.
+    pub fn shard(&self, count: usize) -> Result<Vec<SweepSpec>> {
+        (0..count)
+            .map(|index| self.clone().shard_of(index, count))
+            .collect::<Result<Vec<_>>>()
+            .and_then(|shards| {
+                if shards.is_empty() {
+                    Err(Error::InvalidInput(
+                        "`shard.count` must be at least 1".into(),
+                    ))
+                } else {
+                    Ok(shards)
+                }
+            })
+    }
+
+    /// Number of items *this spec executes*: the shard's block when sharded,
+    /// the whole cartesian product otherwise.
     pub fn len(&self) -> usize {
+        match self.shard {
+            Some(shard) => shard.range(self.total_len()).len(),
+            None => self.total_len(),
+        }
+    }
+
+    /// Number of items the full cartesian product expands to, ignoring any
+    /// shard restriction.
+    pub fn total_len(&self) -> usize {
         self.workloads.len()
             * self.profiles.len()
             * self.schemes.len().max(1)
@@ -403,7 +494,7 @@ impl SweepSpec {
             * self.constraints.len().max(1)
     }
 
-    /// `true` when a mandatory axis is empty.
+    /// `true` when a mandatory axis is empty or the shard's block is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -411,7 +502,9 @@ impl SweepSpec {
     /// Expand the cartesian product into per-item coordinates and assembled
     /// estimation tasks. Item-level assembly failures (e.g. an incompatible
     /// scheme/profile pairing) are reported in place; only an empty
-    /// mandatory axis fails the whole expansion.
+    /// mandatory axis fails the whole expansion. A sharded spec expands only
+    /// its own contiguous block, with every [`SweepPoint`] keeping the index
+    /// it has in the full (unsharded) expansion.
     pub(crate) fn expand(&self) -> Result<Vec<(SweepPoint, Result<PhysicalResourceEstimation>)>> {
         if self.workloads.is_empty() {
             return Err(Error::InvalidInput(
@@ -446,15 +539,25 @@ impl SweepSpec {
             &self.constraints
         };
 
-        let mut items = Vec::with_capacity(self.len());
+        let range = match self.shard {
+            Some(shard) => shard.range(self.total_len()),
+            None => 0..self.total_len(),
+        };
+        let mut next_index = 0usize;
+        let mut items = Vec::with_capacity(range.len());
         for (workload, counts) in &self.workloads {
             for qubit in &self.profiles {
                 for scheme_axis in schemes {
                     let resolved = qubit.validate().and_then(|()| scheme_axis.resolve(qubit));
                     for budget in budgets {
                         for constraint in constraints {
+                            let index = next_index;
+                            next_index += 1;
+                            if !range.contains(&index) {
+                                continue;
+                            }
                             let point = SweepPoint {
-                                index: items.len(),
+                                index,
                                 workload: workload.clone(),
                                 profile: qubit.name.clone(),
                                 scheme: resolved
@@ -591,6 +694,96 @@ mod tests {
         assert_eq!(items.len(), 2);
         assert!(items[0].1.is_ok());
         assert!(items[1].1.is_err());
+    }
+
+    #[test]
+    fn shard_ranges_partition_contiguously() {
+        // 10 items over 3 shards: 4 + 3 + 3, in order, no gaps.
+        let ranges: Vec<_> = (0..3)
+            .map(|i| Shard::new(i, 3).unwrap().range(10))
+            .collect();
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        // More shards than items: one item each, then empty tails.
+        let ranges: Vec<_> = (0..5).map(|i| Shard::new(i, 5).unwrap().range(3)).collect();
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3, 3..3, 3..3]);
+        // One shard is the whole range.
+        assert_eq!(Shard::new(0, 1).unwrap().range(7), 0..7);
+    }
+
+    #[test]
+    fn shard_validation_names_the_fields() {
+        let err = Shard::new(0, 0).unwrap_err().to_string();
+        assert!(err.contains("shard.count"), "{err}");
+        let err = Shard::new(3, 3).unwrap_err().to_string();
+        assert!(err.contains("shard.index"), "{err}");
+        assert!(err.contains("shard.count"), "{err}");
+    }
+
+    fn multi_axis_spec() -> SweepSpec {
+        SweepSpec::new()
+            .workload("a", counts())
+            .workload("b", counts())
+            .profiles([
+                PhysicalQubit::qubit_gate_ns_e3(),
+                PhysicalQubit::qubit_maj_ns_e4(),
+            ])
+            .total_error_budget(1e-3)
+            .total_error_budget(1e-4)
+    }
+
+    #[test]
+    fn sharded_expansion_keeps_global_indices_and_unions_to_the_whole() {
+        let spec = multi_axis_spec();
+        assert_eq!(spec.total_len(), 8);
+        let full = spec.expand().unwrap();
+
+        let shards = spec.shard(3).unwrap();
+        assert_eq!(shards.len(), 3);
+        let lens: Vec<usize> = shards.iter().map(SweepSpec::len).collect();
+        assert_eq!(lens, vec![3, 3, 2]);
+        assert_eq!(lens.iter().sum::<usize>(), spec.total_len());
+
+        let mut union: Vec<(SweepPoint, _)> = Vec::new();
+        for shard in &shards {
+            assert_eq!(shard.total_len(), 8, "total_len ignores the shard");
+            union.extend(shard.expand().unwrap());
+        }
+        union.sort_by_key(|(p, _)| p.index);
+        assert_eq!(union.len(), full.len());
+        for ((a, _), (b, _)) in union.iter().zip(&full) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.scheme, b.scheme);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_items_leaves_trailing_shards_empty() {
+        let spec = SweepSpec::new()
+            .workload("w", counts())
+            .profile(PhysicalQubit::qubit_gate_ns_e3());
+        assert_eq!(spec.total_len(), 1);
+        let shards = spec.shard(4).unwrap();
+        assert_eq!(shards[0].len(), 1);
+        for shard in &shards[1..] {
+            assert!(shard.is_empty());
+            assert!(shard.expand().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn sharding_twice_is_rejected() {
+        let spec = multi_axis_spec().shard_of(0, 2).unwrap();
+        let err = spec.shard_of(1, 2).unwrap_err().to_string();
+        assert!(err.contains("already sharded"), "{err}");
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(multi_axis_spec().shard(0).is_err());
+        assert!(multi_axis_spec().shard_of(0, 0).is_err());
+        assert!(multi_axis_spec().shard_of(2, 2).is_err());
     }
 
     #[test]

@@ -11,16 +11,47 @@
 //! Timings are printed in criterion's familiar `name  time: [..]` shape and
 //! additionally exposed through [`Criterion::take_measurements`] so harness
 //! binaries can persist machine-readable results.
+//!
+//! Two environment variables cap the work for CI-style quick runs:
+//! `QRE_BENCH_SAMPLES` overrides the per-benchmark sample count, and
+//! `QRE_BENCH_QUICK` (any non-empty value) shrinks the per-sample
+//! calibration target so a whole `cargo bench` sweep finishes in seconds —
+//! noisier numbers, same code paths.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 use std::time::{Duration, Instant};
 
-/// Target wall-clock time for one measurement sample.
+/// Default target wall-clock time for one measurement sample.
 const TARGET_SAMPLE: Duration = Duration::from_millis(60);
-/// Samples collected per benchmark.
+/// Default samples collected per benchmark.
 const SAMPLES: usize = 11;
+
+/// Per-benchmark sample count: `QRE_BENCH_SAMPLES` when set to a positive
+/// integer, `default` otherwise. Public so non-criterion harness binaries
+/// honour the same quick-mode contract.
+pub fn env_samples(default: usize) -> usize {
+    std::env::var("QRE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// `true` when `QRE_BENCH_QUICK` is set non-empty: calibrate to much
+/// shorter samples, trading precision for wall-clock time.
+pub fn quick_mode() -> bool {
+    std::env::var("QRE_BENCH_QUICK").is_ok_and(|v| !v.trim().is_empty())
+}
+
+fn target_sample() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(3)
+    } else {
+        TARGET_SAMPLE
+    }
+}
 
 /// One recorded benchmark measurement.
 #[derive(Debug, Clone)]
@@ -190,6 +221,7 @@ impl Bencher {
 fn run_bench<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) -> Measurement {
     // Calibrate: grow the iteration count until one sample takes long enough
     // to time reliably.
+    let target = target_sample();
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -197,18 +229,18 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) -> Measurement {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+        if b.elapsed >= target || iters >= 1 << 24 {
             break;
         }
         let scale = if b.elapsed.is_zero() {
             16.0
         } else {
-            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
         };
         iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
     }
 
-    let mut per_iter: Vec<f64> = (0..SAMPLES)
+    let mut per_iter: Vec<f64> = (0..env_samples(SAMPLES))
         .map(|_| {
             let mut b = Bencher {
                 iters,
@@ -290,6 +322,14 @@ mod tests {
         assert_eq!(ms.len(), 1);
         assert!(ms[0].median_ns >= 0.0);
         assert!(ms[0].iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn env_samples_falls_back_to_the_default() {
+        // CI/test runs leave QRE_BENCH_SAMPLES unset.
+        if std::env::var("QRE_BENCH_SAMPLES").is_err() {
+            assert_eq!(env_samples(7), 7);
+        }
     }
 
     #[test]

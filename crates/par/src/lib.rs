@@ -28,7 +28,7 @@
 #![warn(clippy::all)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// Upper bound on worker threads, overridable through the `QRE_THREADS`
 /// environment variable (useful for benchmarking scalability).
@@ -190,6 +190,73 @@ where
             }
         }
     });
+}
+
+/// A counting semaphore bounding how many units of work are in flight at
+/// once.
+///
+/// The job-server serve loop is the motivating consumer: each incoming job
+/// spawns a thread (so a slow sweep doesn't starve later stdin lines), but
+/// the number of concurrently *running* jobs must stay bounded — each job
+/// already fans out internally through [`parallel_map`], so unbounded job
+/// concurrency would multiply thread counts with queue length. Acquiring
+/// blocks while `limit` permits are outstanding; permits release on drop
+/// (including when the holder unwinds).
+///
+/// ```
+/// let sem = qre_par::Semaphore::new(2);
+/// let a = sem.acquire();
+/// let b = sem.acquire();
+/// assert_eq!(sem.available(), 0);
+/// drop(a);
+/// assert_eq!(sem.available(), 1);
+/// drop(b);
+/// ```
+#[derive(Debug)]
+pub struct Semaphore {
+    available: Mutex<usize>,
+    released: Condvar,
+}
+
+/// An outstanding [`Semaphore`] permit; dropping it releases the slot.
+#[derive(Debug)]
+pub struct SemaphorePermit<'a> {
+    semaphore: &'a Semaphore,
+}
+
+impl Semaphore {
+    /// A semaphore with `limit` permits (at least one: a zero-permit
+    /// semaphore could never be acquired, so the limit is clamped up).
+    pub fn new(limit: usize) -> Self {
+        Semaphore {
+            available: Mutex::new(limit.max(1)),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is free, then take it. The permit returns to the
+    /// pool when the returned guard drops.
+    pub fn acquire(&self) -> SemaphorePermit<'_> {
+        let mut available = self.available.lock().expect("semaphore lock");
+        while *available == 0 {
+            available = self.released.wait(available).expect("semaphore lock");
+        }
+        *available -= 1;
+        SemaphorePermit { semaphore: self }
+    }
+
+    /// Number of permits currently free (advisory: may change immediately).
+    pub fn available(&self) -> usize {
+        *self.available.lock().expect("semaphore lock")
+    }
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        let mut available = self.semaphore.available.lock().expect("semaphore lock");
+        *available += 1;
+        self.semaphore.released.notify_one();
+    }
 }
 
 /// Parallel minimisation: return the element of `items` minimising `key`,
@@ -410,6 +477,47 @@ mod tests {
         assert!(in_parallel_worker());
         set_in_parallel_worker(false);
         assert!(!in_parallel_worker());
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Semaphore::new(3);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    let _permit = sem.acquire();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "limit exceeded");
+        assert_eq!(sem.available(), 3, "all permits returned");
+    }
+
+    #[test]
+    fn semaphore_permit_releases_on_unwind() {
+        let sem = Semaphore::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = sem.acquire();
+            panic!("holder dies");
+        }));
+        assert!(result.is_err());
+        // The permit came back despite the panic; acquiring again succeeds.
+        assert_eq!(sem.available(), 1);
+        let _p = sem.acquire();
+    }
+
+    #[test]
+    fn zero_permit_semaphore_clamps_to_one() {
+        let sem = Semaphore::new(0);
+        assert_eq!(sem.available(), 1);
+        let _p = sem.acquire();
+        assert_eq!(sem.available(), 0);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Server-mode smoke test: pipe a small NDJSON job script — an estimate, a
+# sweep, a sharded sweep, and one malformed line — into `qre serve` and
+# assert the session's exit code, its record count, and that the malformed
+# line yielded an error record instead of a crash. Run from the workspace
+# root; CI runs it after `cargo build --release`.
+set -euo pipefail
+
+QRE=${QRE:-target/release/qre}
+if [ ! -x "$QRE" ]; then
+    echo "serve_smoke: $QRE not built (run: cargo build --release)" >&2
+    exit 1
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+printf '%s\n' \
+  '{ "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }' \
+  '{ "id": "sweep", "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }' \
+  '{ "id": "shard-1", "shard": {"index": 1, "count": 2}, "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }' \
+  'this line is deliberately not JSON' \
+  | "$QRE" serve --jobs 1 > "$out"
+# set -e: a non-zero serve exit (the session must survive the malformed
+# line) has already failed the script here.
+
+fail() { echo "serve_smoke: $1" >&2; echo "--- output ---" >&2; cat "$out" >&2; exit 1; }
+
+# 1 result + stats, 6 sweep items + stats, 3 shard items + stats, 1 error.
+records=$(wc -l < "$out")
+[ "$records" -eq 14 ] || fail "expected 14 records, got $records"
+
+errors=$(grep -c '"status":"error"' "$out") || true
+[ "$errors" -eq 1 ] || fail "expected exactly 1 error record, got $errors"
+grep -q '{"job":4,"status":"error","message":"invalid job' "$out" \
+  || fail "malformed line 4 did not yield its error record"
+
+stats=$(grep -c '"stats":' "$out") || true
+[ "$stats" -eq 3 ] || fail "expected 3 stats records, got $stats"
+
+# The sharded job re-ran scenarios the sweep already designed: pure hits.
+grep -q '{"job":"shard-1","stats":{"items":3,"errors":0,"cacheHits":3,"cacheMisses":0' "$out" \
+  || fail "sharded job did not run from the warm session cache"
+
+echo "serve_smoke: OK ($records records, 1 error record, warm-cache shard)"

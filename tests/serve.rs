@@ -1,0 +1,356 @@
+//! Integration tests for `qre serve` — the long-running NDJSON job server
+//! (driven in-process through `qre_cli::serve`).
+
+use qre_cli::{serve, ServeOptions};
+use qre_json::Value;
+
+fn run_serve(script: &str, options: &ServeOptions) -> (qre_cli::ServeSummary, Vec<Value>) {
+    let mut bytes: Vec<u8> = Vec::new();
+    let summary = serve(script.as_bytes(), &mut bytes, options).expect("serve session succeeds");
+    let lines: Vec<Value> = std::str::from_utf8(&bytes)
+        .unwrap()
+        .lines()
+        .map(|line| qre_json::parse(line).expect("every serve record parses"))
+        .collect();
+    assert_eq!(summary.records, lines.len());
+    (summary, lines)
+}
+
+fn sequential() -> ServeOptions {
+    ServeOptions { max_in_flight: 1 }
+}
+
+const ESTIMATE_LINE: &str =
+    r#"{ "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }"#;
+
+const SWEEP_LINE: &str = r#"{ "id": "sweep", "sweep": {
+    "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ],
+    "errorBudgets": [ 1e-4 ] } }"#;
+
+#[test]
+fn smoke_script_estimate_sweep_shard_and_malformed_line() {
+    // The CI smoke script's shape: a single estimate, a six-item sweep, a
+    // sharded sweep, and one malformed line — all in one session.
+    let script = format!(
+        "{}\n{}\n{}\nnot json at all\n",
+        ESTIMATE_LINE,
+        SWEEP_LINE.replace('\n', " "),
+        r#"{ "id": "shard-0", "shard": {"index": 0, "count": 2}, "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ],
+            "errorBudgets": [ 1e-4 ] } }"#
+            .replace('\n', " "),
+    );
+    let (summary, lines) = run_serve(&script, &sequential());
+    assert_eq!(summary.jobs, 4);
+    assert_eq!(summary.job_errors, 1, "only the malformed line fails");
+    // 1 result + stats, 6 sweep items + stats, 3 shard items + stats, 1
+    // error record.
+    assert_eq!(summary.records, 14);
+
+    // Every record names its job; the malformed line yields an error record
+    // under its ordinal id instead of killing the session.
+    assert!(lines.iter().all(|l| l.get("job").is_some()));
+    let failure = lines
+        .iter()
+        .find(|l| l.get("job").and_then(Value::as_u64) == Some(4))
+        .unwrap();
+    assert_eq!(failure.get("status").unwrap().as_str(), Some("error"));
+    assert!(failure
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("invalid job"));
+
+    // Each successful job closes with a stats record carrying its exact
+    // cache counters; the sharded sweep re-ran scenarios the full sweep
+    // already designed, so it reports pure hits.
+    let stats_of = |job: &str| -> &Value {
+        lines
+            .iter()
+            .find(|l| l.get("job").and_then(Value::as_str) == Some(job) && l.get("stats").is_some())
+            .unwrap_or_else(|| panic!("stats record for {job}"))
+    };
+    let sweep_stats = stats_of("sweep");
+    assert_eq!(
+        sweep_stats.get_path("stats.items").unwrap().as_u64(),
+        Some(6)
+    );
+    assert_eq!(
+        sweep_stats.get_path("stats.errors").unwrap().as_u64(),
+        Some(0)
+    );
+    assert_eq!(
+        sweep_stats.get_path("stats.cacheMisses").unwrap().as_u64(),
+        Some(6)
+    );
+    let shard_stats = stats_of("shard-0");
+    assert_eq!(
+        shard_stats.get_path("stats.items").unwrap().as_u64(),
+        Some(3)
+    );
+    assert_eq!(
+        shard_stats.get_path("stats.cacheMisses").unwrap().as_u64(),
+        Some(0),
+        "sharded re-run hits the session-wide warm cache"
+    );
+    assert_eq!(
+        shard_stats.get_path("stats.shard.count").unwrap().as_u64(),
+        Some(2)
+    );
+}
+
+#[test]
+fn session_cache_stays_warm_across_jobs() {
+    // The same sweep twice, under different ids.
+    let again = r#"{ "id": "again", "sweep": {
+        "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ],
+        "errorBudgets": [ 1e-4 ] } }"#
+        .replace('\n', " ");
+    let script = format!("{}\n{}\n", SWEEP_LINE.replace('\n', " "), again);
+    let (summary, lines) = run_serve(&script, &sequential());
+    assert_eq!(summary.job_errors, 0);
+    let again_stats = lines
+        .iter()
+        .find(|l| l.get("job").and_then(Value::as_str) == Some("again") && l.get("stats").is_some())
+        .unwrap();
+    assert_eq!(
+        again_stats.get_path("stats.cacheMisses").unwrap().as_u64(),
+        Some(0),
+        "the second job re-uses every design the first one searched"
+    );
+    assert!(
+        again_stats
+            .get_path("stats.cacheHits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 6
+    );
+}
+
+#[test]
+fn sharded_serve_jobs_union_to_the_unsharded_sweep() {
+    let sweep_body = r#""sweep": {
+        "algorithms": [ { "multiplication": { "algorithm": "windowed", "bits": 64 } } ],
+        "qubitParams": [ { "name": "qubit_gate_ns_e3" }, { "name": "qubit_maj_ns_e4" },
+                         { "name": "qubit_gate_ns_e4" } ],
+        "errorBudgets": [ 1e-4, 1e-3 ] }"#
+        .replace('\n', " ");
+
+    // Unsharded reference session.
+    let unsharded = format!("{{ \"id\": \"s\", {sweep_body} }}\n");
+    let (_, reference) = run_serve(&unsharded, &sequential());
+    let mut want: Vec<String> = reference
+        .iter()
+        .filter(|l| l.get("index").is_some())
+        .map(Value::to_string_compact)
+        .collect();
+    want.sort();
+    assert_eq!(want.len(), 6);
+
+    // Two *separate* server sessions (separate processes in production),
+    // one shard each, same id so records are directly comparable.
+    let mut got: Vec<String> = Vec::new();
+    for index in 0..2 {
+        let line = format!(
+            "{{ \"id\": \"s\", \"shard\": {{\"index\": {index}, \"count\": 2}}, {sweep_body} }}\n"
+        );
+        let (summary, lines) = run_serve(&line, &sequential());
+        assert_eq!(summary.job_errors, 0);
+        got.extend(
+            lines
+                .iter()
+                .filter(|l| l.get("index").is_some())
+                .map(Value::to_string_compact),
+        );
+    }
+    got.sort();
+    assert_eq!(got, want, "shard union is record-for-record the full sweep");
+}
+
+#[test]
+fn shard_on_non_sweep_jobs_is_rejected_in_place() {
+    let script = format!(
+        "{{ \"shard\": {{\"index\": 0, \"count\": 2}}, \"algorithm\": {{ \"logicalCounts\": {{ \"numQubits\": 5, \"tCount\": 10 }} }} }}\n{ESTIMATE_LINE}\n"
+    );
+    let (summary, lines) = run_serve(&script, &sequential());
+    assert_eq!(summary.jobs, 2);
+    assert_eq!(summary.job_errors, 1);
+    let err = &lines[0];
+    assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+    assert!(err
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("sweep"));
+    // The session survived: the follow-up job ran and closed with stats.
+    assert!(lines
+        .iter()
+        .any(|l| l.get("job").and_then(Value::as_u64) == Some(2) && l.get("stats").is_some()));
+}
+
+#[test]
+fn invalid_shard_fields_error_naming_the_field() {
+    let cases = [
+        (r#"{"index": 0, "count": 0}"#, "shard.count"),
+        (r#"{"index": 3, "count": 3}"#, "shard.index"),
+        (r#"{"index": 0}"#, "count"),
+        (r#"{"index": 0, "count": 2, "extra": 1}"#, "extra"),
+        (r#"{"index": -1, "count": 2}"#, "shard.index"),
+    ];
+    for (shard, needle) in cases {
+        let script = format!(
+            "{{ \"shard\": {shard}, \"sweep\": {{ \"algorithms\": [ {{ \"logicalCounts\": {{ \"numQubits\": 5, \"tCount\": 10 }} }} ] }} }}\n"
+        );
+        let (summary, lines) = run_serve(&script, &sequential());
+        assert_eq!(summary.job_errors, 1, "shard {shard} must be rejected");
+        let message = lines[0].get("message").unwrap().as_str().unwrap();
+        assert!(message.contains(needle), "shard {shard}: {message}");
+    }
+}
+
+#[test]
+fn ids_echo_verbatim_and_default_to_ordinals() {
+    let script = format!(
+        "{ESTIMATE_LINE}\n{{ \"id\": \"named\", \"algorithm\": {{ \"logicalCounts\": {{ \"numQubits\": 5, \"tCount\": 10 }} }} }}\n"
+    );
+    let (_, lines) = run_serve(&script, &sequential());
+    assert!(lines
+        .iter()
+        .any(|l| l.get("job").and_then(Value::as_u64) == Some(1)));
+    assert!(lines
+        .iter()
+        .any(|l| l.get("job").and_then(Value::as_str) == Some("named")));
+    // A non-scalar id is rejected but doesn't kill the session.
+    let (summary, lines) = run_serve(
+        "{ \"id\": [1], \"algorithm\": { \"logicalCounts\": { \"numQubits\": 5, \"tCount\": 10 } } }\n",
+        &sequential(),
+    );
+    assert_eq!(summary.job_errors, 1);
+    assert!(lines[0]
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("id"));
+}
+
+#[test]
+fn failing_single_jobs_report_in_place_and_serve_continues() {
+    // An unreachable budget fails the estimate (not the session) — unlike
+    // the one-shot CLI, which exits non-zero.
+    let script = format!(
+        "{{ \"algorithm\": {{ \"logicalCounts\": {{ \"numQubits\": 10, \"tCount\": 100 }} }}, \"errorBudget\": 1e-60 }}\n{ESTIMATE_LINE}\n"
+    );
+    let (summary, lines) = run_serve(&script, &sequential());
+    assert_eq!(summary.jobs, 2);
+    assert_eq!(lines[0].get("status").unwrap().as_str(), Some("error"));
+    // Its stats record still appears, counting the in-place error.
+    let stats = lines
+        .iter()
+        .find(|l| l.get("job").and_then(Value::as_u64) == Some(1) && l.get("stats").is_some())
+        .unwrap();
+    assert_eq!(stats.get_path("stats.errors").unwrap().as_u64(), Some(1));
+    // And job 2 succeeded.
+    assert!(lines
+        .iter()
+        .any(|l| l.get("job").and_then(Value::as_u64) == Some(2)
+            && l.get("status").and_then(Value::as_str) == Some("success")));
+}
+
+#[test]
+fn batch_jobs_emit_indexed_records() {
+    let script = r#"{ "id": "batch", "items": [
+        { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } },
+        { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 200 } } }
+    ] }"#
+        .replace('\n', " ")
+        + "\n";
+    let (summary, lines) = run_serve(&script, &sequential());
+    assert_eq!(summary.job_errors, 0);
+    let mut indices: Vec<u64> = lines
+        .iter()
+        .filter(|l| l.get("index").is_some())
+        .map(|l| l.get("index").unwrap().as_u64().unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1]);
+    let stats = lines.last().unwrap();
+    assert_eq!(stats.get_path("stats.items").unwrap().as_u64(), Some(2));
+}
+
+/// A consumer that accepts `flushes_left` records and then hangs up, like a
+/// downstream `head` closing the pipe (serve flushes once per record).
+struct HangingUpWriter {
+    flushes_left: usize,
+}
+
+impl std::io::Write for HangingUpWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.flushes_left == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "consumer hung up",
+            ));
+        }
+        self.flushes_left -= 1;
+        Ok(())
+    }
+}
+
+#[test]
+fn dead_output_ends_the_session_instead_of_estimating_into_the_void() {
+    // Many queued jobs behind a consumer that dies after one record: the
+    // session must report the transport failure (and stop promptly — the
+    // reader and running jobs bail once the writer is gone) rather than
+    // estimate the whole backlog with nowhere to deliver it.
+    let mut script = String::new();
+    for _ in 0..50 {
+        script.push_str(ESTIMATE_LINE);
+        script.push('\n');
+    }
+    let mut output = HangingUpWriter { flushes_left: 1 };
+    let err = serve(script.as_bytes(), &mut output, &sequential()).unwrap_err();
+    assert!(err.contains("failed to write serve output"), "{err}");
+    assert!(err.contains("consumer hung up"), "{err}");
+}
+
+#[test]
+fn blank_lines_are_skipped_and_empty_sessions_summarize() {
+    let (summary, lines) = run_serve("\n   \n\n", &ServeOptions::default());
+    assert_eq!(summary.jobs, 0);
+    assert_eq!(summary.records, 0);
+    assert!(lines.is_empty());
+}
+
+#[test]
+fn concurrent_jobs_interleave_but_lose_nothing() {
+    // Four sweep jobs with in-flight 4: records may interleave arbitrarily,
+    // but every job must deliver all its items plus one stats record.
+    let mut script = String::new();
+    for i in 0..4 {
+        script.push_str(&format!(
+            "{{ \"id\": \"j{i}\", \"sweep\": {{ \"algorithms\": [ {{ \"logicalCounts\": {{ \"numQubits\": 10, \"tCount\": 100 }} }} ], \"errorBudgets\": [ 1e-4 ] }} }}\n"
+        ));
+    }
+    let (summary, lines) = run_serve(&script, &ServeOptions { max_in_flight: 4 });
+    assert_eq!(summary.jobs, 4);
+    assert_eq!(summary.job_errors, 0);
+    assert_eq!(summary.records, 4 * 7);
+    for i in 0..4 {
+        let job = format!("j{i}");
+        let items = lines
+            .iter()
+            .filter(|l| {
+                l.get("job").and_then(Value::as_str) == Some(&job) && l.get("index").is_some()
+            })
+            .count();
+        assert_eq!(items, 6, "job {job} delivered every sweep item");
+    }
+}

@@ -1,0 +1,74 @@
+//! `QRE_THREADS=1` with `max_in_flight: 1` must make a serve session fully
+//! sequential and deterministic — and its records must match a parallel
+//! session's output once that output is re-sorted (records are
+//! content-identical; only delivery order may differ).
+//!
+//! This file holds the only serve test that sets `QRE_THREADS`, so no
+//! sibling test in the same process can race on the environment.
+
+use qre_cli::{serve, ServeOptions};
+
+const SCRIPT: &str = concat!(
+    r#"{ "id": "a", "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }"#,
+    "\n",
+    r#"{ "id": "b", "items": [ { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }, { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 300 } } } ] }"#,
+    "\n",
+    r#"{ "id": "c", "shard": {"index": 1, "count": 3}, "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }"#,
+    "\n",
+);
+
+fn run(options: &ServeOptions) -> Vec<String> {
+    let mut bytes: Vec<u8> = Vec::new();
+    let summary = serve(SCRIPT.as_bytes(), &mut bytes, options).unwrap();
+    assert_eq!(summary.jobs, 3);
+    assert_eq!(summary.job_errors, 0);
+    std::str::from_utf8(&bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Strip the per-job cache counters from a stats line: they legitimately
+/// depend on scheduling (a design one job misses may already be stored by a
+/// concurrent sibling), unlike every item record, which must be bit-equal.
+fn scheduling_invariant(line: &str) -> String {
+    match line.find("\"stats\":") {
+        None => line.to_string(),
+        Some(_) => {
+            let v = qre_json::parse(line).unwrap();
+            format!(
+                "{}|items={}|errors={}",
+                v.get("job").unwrap().to_string_compact(),
+                v.get_path("stats.items").unwrap().as_u64().unwrap(),
+                v.get_path("stats.errors").unwrap().as_u64().unwrap(),
+            )
+        }
+    }
+}
+
+#[test]
+fn sequential_serve_matches_parallel_after_resorting() {
+    std::env::set_var("QRE_THREADS", "1");
+    assert_eq!(qre_par::max_threads(), 1);
+
+    // Fully sequential: one job at a time, one worker thread. Two runs must
+    // be byte-identical, in order — determinism, not just set equality.
+    let first = run(&ServeOptions { max_in_flight: 1 });
+    let second = run(&ServeOptions { max_in_flight: 1 });
+    assert_eq!(first, second, "sequential serve is deterministic");
+
+    // Parallel jobs and workers: same records, any order.
+    std::env::remove_var("QRE_THREADS");
+    let parallel = run(&ServeOptions { max_in_flight: 3 });
+    let mut sequential_sorted: Vec<String> =
+        first.iter().map(|l| scheduling_invariant(l)).collect();
+    let mut parallel_sorted: Vec<String> =
+        parallel.iter().map(|l| scheduling_invariant(l)).collect();
+    sequential_sorted.sort();
+    parallel_sorted.sort();
+    assert_eq!(
+        sequential_sorted, parallel_sorted,
+        "parallel serve emits exactly the sequential records, reordered"
+    );
+}
