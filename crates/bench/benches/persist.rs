@@ -1,0 +1,115 @@
+//! Cold session vs. persisted-warm session throughput of `qre serve
+//! --cache-file`.
+//!
+//! The design store's reason to persist is iterative application
+//! development (Quetschlich et al., arXiv:2402.12434): near-identical
+//! estimates re-run across *sessions*, not just across jobs of one session.
+//! This harness runs the same `JOBS` six-profile sweep jobs through
+//!
+//! * a **cold session** (`cold_session_ns`) — a fresh process-wide store,
+//!   every profile's factory designed from scratch, the snapshot saved at
+//!   session end (the save cost is part of the measurement), and
+//! * a **persisted-warm session** (`warm_session_ns`) — a fresh session
+//!   whose store is loaded from the cold session's snapshot file, so every
+//!   design is a cache hit (the load cost is part of the measurement),
+//!
+//! both with `max_in_flight: 1` so the comparison is pure persistence
+//! effect, not scheduling. Medians over the samples are printed as JSON
+//! (the `BENCH_persist.json` shape) and written to
+//! `target/experiments/BENCH_persist.json`. `QRE_BENCH_SAMPLES` caps the
+//! sample count for quick CI runs.
+//!
+//! ```text
+//! cargo bench -p qre-bench --bench persist
+//! ```
+
+use std::time::Instant;
+
+use qre_cli::{serve, ServeOptions};
+
+const DEFAULT_SAMPLES: usize = 5;
+const JOBS: usize = 6;
+
+/// One six-profile sweep job line (the Figure 4 shape).
+fn job_line(id: usize) -> String {
+    format!(
+        "{{ \"id\": {id}, \"sweep\": {{ \
+         \"algorithms\": [ {{ \"logicalCounts\": {{ \
+         \"numQubits\": 2000, \"tCount\": 500000, \"cczCount\": 100000, \
+         \"measurementCount\": 500000 }} }} ], \
+         \"errorBudgets\": [ 1e-4 ] }} }}\n"
+    )
+}
+
+fn run_session(script: &str, options: &ServeOptions) -> qre_cli::ServeSummary {
+    let mut sink = std::io::sink();
+    let summary = serve(script.as_bytes(), &mut sink, options).expect("serve session succeeds");
+    assert_eq!(summary.job_errors, 0);
+    summary
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let samples = criterion::env_samples(DEFAULT_SAMPLES);
+    let script: String = (1..=JOBS).map(job_line).collect();
+    let snapshot =
+        std::env::temp_dir().join(format!("qre-bench-persist-{}.json", std::process::id()));
+    let options = ServeOptions {
+        max_in_flight: 1,
+        cache_file: Some(snapshot.clone()),
+        save_every: 0, // one save at session end; periodic saves are off
+        ..ServeOptions::default()
+    };
+
+    let mut cold: Vec<u128> = Vec::with_capacity(samples);
+    let mut warm: Vec<u128> = Vec::with_capacity(samples);
+    let mut designs = 0usize;
+    for _ in 0..samples {
+        // Cold session: no snapshot to load (the file is removed), designs
+        // searched from scratch, snapshot saved at exit.
+        let _ = std::fs::remove_file(&snapshot);
+        let start = Instant::now();
+        let summary = run_session(&script, &options);
+        cold.push(start.elapsed().as_nanos());
+        assert_eq!(summary.designs_loaded, 0, "cold session must start empty");
+        assert!(summary.designs_saved > 0, "cold session must persist");
+        designs = summary.designs_saved;
+
+        // Persisted-warm session: same jobs, store loaded from the cold
+        // session's snapshot — every factory design is a hit.
+        let start = Instant::now();
+        let summary = run_session(&script, &options);
+        warm.push(start.elapsed().as_nanos());
+        assert_eq!(
+            summary.designs_loaded, designs,
+            "warm session must load every persisted design"
+        );
+    }
+    let _ = std::fs::remove_file(&snapshot);
+
+    let cold_ns = median(cold);
+    let warm_ns = median(warm);
+    let per_sec = |total_ns: u128| JOBS as f64 / (total_ns as f64 / 1e9);
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_cold_session_vs_persisted_warm_session\",\n  \
+         \"samples\": {samples},\n  \"jobs\": {JOBS},\n  \
+         \"persisted_designs\": {designs},\n  \"results\": {{\n    \
+         \"cold_session_ns\": {cold_ns},\n    \
+         \"warm_session_ns\": {warm_ns},\n    \
+         \"cold_jobs_per_sec\": {:.2},\n    \
+         \"warm_jobs_per_sec\": {:.2}\n  }},\n  \
+         \"speedup_persisted_warm_vs_cold_session\": {:.1}\n}}",
+        per_sec(cold_ns),
+        per_sec(warm_ns),
+        cold_ns as f64 / warm_ns as f64
+    );
+    println!("{json}");
+    match qre_bench::write_artifact("BENCH_persist.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -52,7 +52,10 @@ fn median(mut xs: Vec<u128>) -> u128 {
 
 fn main() {
     let samples = criterion::env_samples(DEFAULT_SAMPLES);
-    let options = ServeOptions { max_in_flight: 1 };
+    let options = ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    };
     let script: String = (1..=JOBS).map(job_line).collect();
 
     let mut warm: Vec<u128> = Vec::with_capacity(samples);

@@ -54,15 +54,21 @@
 //!
 //! Beyond one-shot submissions, [`serve`] runs a **long-lived job server**:
 //! one JSON job per input line, completion-order NDJSON records out, a
-//! process-wide factory cache kept warm across jobs, and per-job `"shard"`
+//! process-wide factory cache kept warm across jobs — optionally bounded
+//! ([`ServeOptions::cache_capacity`]) and persisted to a snapshot file
+//! between sessions ([`ServeOptions::cache_file`]) — and per-job `"shard"`
 //! fields so several server processes can split one sweep deterministically
-//! (see the [`serve`] module docs for the line protocol).
+//! (see the [`serve`] module docs for the line protocol). The shard
+//! sessions' output files are re-joined by [`merge_files`] (the `qre merge`
+//! verb), which validates that the union covers the sweep exactly.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod merge;
 mod serve;
 
+pub use merge::{merge_files, merge_shard_records, MergeSummary};
 pub use serve::{serve, ServeOptions, ServeSummary};
 
 use std::io::Write;

@@ -5,17 +5,21 @@
 //! qre -                     read the job from stdin
 //! qre --report <job.json>   human-readable report instead of JSON
 //! qre --compact <job.json>  single-line JSON
-//! qre serve [--jobs N]      long-running job server: one JSON job per
+//! qre serve [--jobs N] [--cache-file PATH] [--cache-cap N] [--save-every N]
+//!                           long-running job server: one JSON job per
 //!                           stdin line, NDJSON records to stdout
+//! qre merge <shard.ndjson>...
+//!                           join shard output files into one sweep
 //! qre --help                usage
 //! ```
 //!
 //! A submission with top-level `"stream": true` emits NDJSON — one record
 //! per finished item in completion order, plus `{"progress": k, "total": n}`
 //! records — instead of one monolithic document. `qre serve` keeps one
-//! process-wide factory cache warm across jobs; see the `qre_cli::serve`
-//! docs for the line protocol (including per-job `"shard"` fields that let
-//! several server processes split one sweep).
+//! process-wide factory cache warm across jobs — bounded with `--cache-cap`
+//! and persisted between sessions with `--cache-file` — and `qre merge`
+//! validates and joins the NDJSON outputs of sharded sweep sessions; see
+//! the `qre_cli::serve` and `qre_cli::merge` docs for the protocols.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -25,7 +29,8 @@ fn usage() -> &'static str {
      \n\
      USAGE:\n\
      \x20 qre [--report | --compact] <job.json | ->\n\
-     \x20 qre serve [--jobs N]\n\
+     \x20 qre serve [--jobs N] [--cache-file PATH] [--cache-cap N] [--save-every N]\n\
+     \x20 qre merge <shard.ndjson>...\n\
      \n\
      The job file is a JSON specification; see the qre-cli crate docs for the\n\
      schema. `-` reads the job from stdin. Output is pretty-printed JSON by\n\
@@ -36,8 +41,19 @@ fn usage() -> &'static str {
      `qre serve` reads one JSON job per stdin line until EOF and writes\n\
      completion-order NDJSON records (every record carries its \"job\" id;\n\
      each job ends with a \"stats\" record). Malformed lines yield error\n\
-     records and the session continues. `--jobs N` bounds how many jobs\n\
-     estimate concurrently (default 2).\n"
+     records and the session continues.\n\
+     \x20 --jobs N          concurrent jobs (default 2)\n\
+     \x20 --cache-file PATH load the factory-design store from PATH at start\n\
+     \x20                   and save it (atomically) at session end; corrupt\n\
+     \x20                   or version-mismatched files warn and start cold\n\
+     \x20 --cache-cap N     bound the store to N designs (LRU eviction)\n\
+     \x20 --save-every N    with --cache-file, also save every N completed\n\
+     \x20                   jobs (default 25; 0 = only at session end)\n\
+     \n\
+     `qre merge` joins the NDJSON output files of sharded sweep sessions:\n\
+     item records are re-sorted by their global sweep index and written to\n\
+     stdout, per-shard \"stats\" records are dropped, and the merge fails\n\
+     unless the shards cover the sweep exactly (no gaps, no duplicates).\n"
 }
 
 fn serve_main(args: &[String]) -> ExitCode {
@@ -55,6 +71,32 @@ fn serve_main(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--cache-file" => match iter.next() {
+                Some(path) if !path.is_empty() => {
+                    options.cache_file = Some(std::path::PathBuf::from(path));
+                }
+                _ => {
+                    eprintln!("--cache-file requires a path\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-cap" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => options.cache_capacity = Some(n),
+                None => {
+                    eprintln!("--cache-cap requires a non-negative integer\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--save-every" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => options.save_every = n,
+                None => {
+                    eprintln!(
+                        "--save-every requires a non-negative integer\n\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unexpected serve argument `{other}`\n\n{}", usage());
                 return ExitCode::FAILURE;
@@ -71,6 +113,12 @@ fn serve_main(args: &[String]) -> ExitCode {
                 "serve: {} job(s), {} error(s), {} record(s)",
                 summary.jobs, summary.job_errors, summary.records
             );
+            if options.cache_file.is_some() {
+                eprintln!(
+                    "serve: cache snapshot: {} design(s) loaded, {} saved",
+                    summary.designs_loaded, summary.designs_saved
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -80,10 +128,42 @@ fn serve_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn merge_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("unexpected merge argument `{flag}`\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if args.is_empty() {
+        eprintln!("merge requires at least one shard file\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match qre_cli::merge_files(args, &mut out) {
+        Ok(summary) => {
+            eprintln!(
+                "merge: {} file(s), {} item record(s), {} bookkeeping record(s) dropped",
+                summary.files, summary.items, summary.skipped
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("serve") {
-        return serve_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("merge") => return merge_main(&args[1..]),
+        _ => {}
     }
     let mut report = false;
     let mut compact = false;

@@ -1,0 +1,220 @@
+//! `qre merge` — join shard NDJSON result files back into one sweep.
+//!
+//! The fan-out side is `qre serve` with per-job `"shard": {"index", "count"}`
+//! fields: `n` server processes fed the same sweep line each produce the
+//! item records of their row-major block, every record carrying its
+//! **global** sweep `"index"`. This module is the join side: read the shard
+//! sessions' output files, keep the item records, and re-assemble them in
+//! expansion order through the same validating join the in-process API uses
+//! ([`qre_core::merge_indexed`], the generic form of
+//! [`qre_core::merge_sharded`]) — a duplicate or missing index fails the
+//! merge, so a successful merge *is* the proof that the shard files cover
+//! the sweep exactly.
+//!
+//! Bookkeeping records are dropped, not merged: per-shard `"stats"` records
+//! describe one shard's session (their counters are meaningless for the
+//! union), and `"progress"` records are transport chatter. A job-level
+//! error record (`"status": "error"` without an item `"index"`) means a
+//! shard session failed to run its job, so the merge fails loudly naming
+//! the file and line rather than emitting a silently incomplete sweep.
+
+use std::io::Write;
+
+use qre_json::Value;
+
+/// What a merge did, for logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Shard files read.
+    pub files: usize,
+    /// Item records merged (== lines written).
+    pub items: usize,
+    /// Bookkeeping records dropped (`"stats"` and `"progress"`).
+    pub skipped: usize,
+}
+
+/// One shard file's lines, classified.
+struct ShardRecords {
+    /// `(global index, record)` for every item record.
+    items: Vec<(usize, Value)>,
+    /// Dropped bookkeeping records.
+    skipped: usize,
+}
+
+/// Classify one parsed NDJSON record from a shard file.
+fn classify(record: Value, place: &str) -> Result<Option<(usize, Value)>, String> {
+    if record.as_object().is_none() {
+        return Err(format!("{place}: record is not a JSON object"));
+    }
+    if record.get("stats").is_some() || record.get("progress").is_some() {
+        return Ok(None);
+    }
+    match record.get("index").map(Value::as_u64) {
+        Some(Some(index)) => {
+            let index = usize::try_from(index)
+                .map_err(|_| format!("{place}: item index {index} out of range"))?;
+            Ok(Some((index, record)))
+        }
+        Some(None) => Err(format!("{place}: `index` is not a non-negative integer")),
+        None => {
+            // No index and not bookkeeping: either a failed shard job or a
+            // record from a non-sweep session — both unmergeable.
+            if record.get("status").and_then(Value::as_str) == Some("error") {
+                let message = record
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error");
+                Err(format!(
+                    "{place}: shard session reported a job-level error ({message}); \
+                     re-run that shard before merging"
+                ))
+            } else {
+                Err(format!(
+                    "{place}: record carries no sweep `index`; only sweep-shard \
+                     output files can be merged"
+                ))
+            }
+        }
+    }
+}
+
+/// Parse one shard file's NDJSON lines into classified records.
+fn parse_shard_file(path: &str) -> Result<ShardRecords, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    let mut items = Vec::new();
+    let mut skipped = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let place = format!("{path}:{}", lineno + 1);
+        let record =
+            qre_json::parse(line).map_err(|e| format!("{place}: invalid NDJSON record: {e}"))?;
+        match classify(record, &place)? {
+            Some(indexed) => items.push(indexed),
+            None => skipped += 1,
+        }
+    }
+    Ok(ShardRecords { items, skipped })
+}
+
+/// Join already-classified shard record sets through the validating merge,
+/// returning the item records in global expansion order. Fails (with the
+/// first gap or duplicate named) unless the union covers `0..n` exactly.
+pub fn merge_shard_records(shards: Vec<Vec<(usize, Value)>>) -> Result<Vec<Value>, String> {
+    let merged = qre_core::merge_indexed(shards, |(index, _)| *index).map_err(|e| e.to_string())?;
+    Ok(merged.into_iter().map(|(_, record)| record).collect())
+}
+
+/// Merge shard NDJSON files, writing one item record per line (in global
+/// index order) to `out`. See the module docs for what is merged, dropped,
+/// and rejected.
+pub fn merge_files(paths: &[String], out: &mut dyn Write) -> Result<MergeSummary, String> {
+    if paths.is_empty() {
+        return Err("merge requires at least one shard file".into());
+    }
+    let mut shards = Vec::with_capacity(paths.len());
+    let mut skipped = 0usize;
+    for path in paths {
+        let records = parse_shard_file(path)?;
+        skipped += records.skipped;
+        shards.push(records.items);
+    }
+    let merged = merge_shard_records(shards)?;
+    let items = merged.len();
+    for record in &merged {
+        writeln!(out, "{}", record.to_string_compact())
+            .map_err(|e| format!("failed to write merged output: {e}"))?;
+    }
+    out.flush()
+        .map_err(|e| format!("failed to write merged output: {e}"))?;
+    Ok(MergeSummary {
+        files: paths.len(),
+        items,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(index: usize) -> String {
+        format!("{{\"job\":\"s\",\"index\":{index},\"status\":\"success\"}}")
+    }
+
+    fn write_file(name: &str, lines: &[String]) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "qre-merge-test-{}-{:?}-{name}.ndjson",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn merges_interleaved_shards_in_index_order() {
+        let a = write_file(
+            "a",
+            &[
+                item(2),
+                item(0),
+                "{\"job\":\"s\",\"stats\":{\"items\":2}}".into(),
+            ],
+        );
+        let b = write_file("b", &[item(1), item(3)]);
+        let mut out = Vec::new();
+        let summary = merge_files(&[a.clone(), b.clone()], &mut out).unwrap();
+        assert_eq!((summary.files, summary.items, summary.skipped), (2, 4, 1));
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line, &item(i), "line {i} out of order");
+        }
+        std::fs::remove_file(a).unwrap();
+        std::fs::remove_file(b).unwrap();
+    }
+
+    #[test]
+    fn gaps_duplicates_and_bad_records_are_rejected() {
+        let gap = write_file("gap", &[item(0), item(2)]);
+        let err = merge_files(std::slice::from_ref(&gap), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("expected item index 1"), "{err}");
+        std::fs::remove_file(gap).unwrap();
+
+        let a = write_file("dup-a", &[item(0), item(1)]);
+        let err = merge_files(&[a.clone(), a.clone()], &mut Vec::new()).unwrap_err();
+        assert!(err.contains("do not cover"), "{err}");
+        std::fs::remove_file(a).unwrap();
+
+        let failed = write_file(
+            "failed",
+            &["{\"job\":1,\"status\":\"error\",\"message\":\"invalid job: nope\"}".into()],
+        );
+        let err = merge_files(std::slice::from_ref(&failed), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("job-level error"), "{err}");
+        assert!(err.contains("nope"), "{err}");
+        std::fs::remove_file(failed).unwrap();
+
+        let not_json = write_file("notjson", &["this is not json".into()]);
+        let err = merge_files(std::slice::from_ref(&not_json), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("invalid NDJSON record"), "{err}");
+        std::fs::remove_file(not_json).unwrap();
+
+        let no_index = write_file(
+            "noindex",
+            &["{\"job\":1,\"status\":\"success\",\"physicalCounts\":{}}".into()],
+        );
+        let err = merge_files(std::slice::from_ref(&no_index), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("no sweep `index`"), "{err}");
+        std::fs::remove_file(no_index).unwrap();
+
+        assert!(merge_files(&[], &mut Vec::new())
+            .unwrap_err()
+            .contains("at least one"));
+
+        let err = merge_files(&["/nonexistent/shard.ndjson".into()], &mut Vec::new()).unwrap_err();
+        assert!(err.contains("failed to read"), "{err}");
+    }
+}

@@ -34,7 +34,7 @@
 //! * one final `{"job": .., "stats": {...}}` record per job with the item
 //!   count, in-place error count, this job's exact factory-cache hit/miss
 //!   counters (scoped to the job even while jobs run concurrently), and the
-//!   process-wide design-store size,
+//!   process-wide design-store size and eviction count,
 //! * `{"job": .., "status": "error", "message": ..}` for a line that fails
 //!   to parse or validate — the session continues; malformed input never
 //!   kills the server.
@@ -43,8 +43,35 @@
 //! already parallelizes internally), so one slow sweep does not starve the
 //! lines behind it; records from concurrent jobs interleave, which is why
 //! every record names its job.
+//!
+//! ## Cache scoping, bounding, and persistence
+//!
+//! The session's design store is one process-wide
+//! [`qre_core::FactoryCache`]; each job estimates through its own
+//! [`FactoryCache::scoped`] view, so the `"stats"` record's hit/miss
+//! counters are exact per job while every job shares (and extends) the same
+//! designs. Two option groups extend the store beyond one session:
+//!
+//! * **Bounding** — [`ServeOptions::cache_capacity`] (`--cache-cap N`)
+//!   caps the store at `N` designs with least-recently-used eviction, so a
+//!   week-long session holds a fixed memory ceiling; the shared eviction
+//!   count is reported as `"cacheEvictions"` in every stats record.
+//! * **Persistence** — [`ServeOptions::cache_file`] (`--cache-file PATH`)
+//!   loads a snapshot at session start (a missing file is a normal cold
+//!   start; a corrupt or version-mismatched file is reported loudly on
+//!   stderr and the session continues cold) and saves atomically at session
+//!   end — including the dead-output exit, so a downstream consumer hanging
+//!   up never loses the session's designs. With
+//!   [`ServeOptions::save_every`] > 0 (`--save-every N`) the store is also
+//!   saved after every `N` completed jobs, bounding what a crash can lose.
+//!   The snapshot is the versioned JSON document described in the
+//!   [`qre_core::FactoryCache`] docs (`"format": "qre-factory-cache"`,
+//!   `"version"` = [`qre_core::SNAPSHOT_VERSION`]); its floats are stored
+//!   as IEEE-754 bit patterns, so a design loaded in the next session is
+//!   bit-identical to the one this session searched.
 
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -61,14 +88,36 @@ pub struct ServeOptions {
     /// limits read-ahead). At least 1; `1` runs jobs strictly in arrival
     /// order.
     pub max_in_flight: usize,
+    /// Bound on the process-wide design store (`--cache-cap N`): at most
+    /// this many designs are kept, evicting least-recently-used entries.
+    /// `None` (the default) stores every design the session searches.
+    pub cache_capacity: Option<usize>,
+    /// Snapshot file for the design store (`--cache-file PATH`): loaded at
+    /// session start (missing file = cold start; corrupt or
+    /// version-mismatched file = loud stderr warning, then cold start) and
+    /// saved atomically at session end. `None` (the default) keeps the
+    /// store in memory only.
+    pub cache_file: Option<PathBuf>,
+    /// With [`ServeOptions::cache_file`] set, also save the snapshot after
+    /// every this-many completed jobs (`--save-every N`); `0` saves only at
+    /// session end. Ignored without a cache file.
+    pub save_every: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        // Jobs fan out internally through qre-par; two concurrent jobs keep
-        // a slow sweep from blocking the queue without multiplying the
-        // worker-thread count by the queue length.
-        ServeOptions { max_in_flight: 2 }
+        ServeOptions {
+            // Jobs fan out internally through qre-par; two concurrent jobs
+            // keep a slow sweep from blocking the queue without multiplying
+            // the worker-thread count by the queue length.
+            max_in_flight: 2,
+            cache_capacity: None,
+            cache_file: None,
+            // Bound crash loss to a handful of jobs once a cache file is
+            // configured, while keeping saves rare enough to stay invisible
+            // next to estimation cost.
+            save_every: 25,
+        }
     }
 }
 
@@ -85,6 +134,14 @@ pub struct ServeSummary {
     pub job_errors: usize,
     /// NDJSON records written.
     pub records: usize,
+    /// Designs loaded from [`ServeOptions::cache_file`] at session start
+    /// (0 when no file is configured, the file is missing, or it was
+    /// rejected).
+    pub designs_loaded: usize,
+    /// Designs saved to [`ServeOptions::cache_file`] by the session-end
+    /// save (0 when no file is configured or the save failed; failures are
+    /// reported on stderr).
+    pub designs_saved: usize,
 }
 
 /// Run a job-server session: read one JSON job per line from `input` until
@@ -93,15 +150,32 @@ pub struct ServeSummary {
 ///
 /// All jobs share one process-wide factory-design store; each job counts its
 /// own cache hits and misses exactly (reported in its `"stats"` record).
-/// Returns `Err` only for transport failures — an unreadable input or an
-/// output that stops accepting writes; malformed job lines produce error
-/// records and the session continues.
+/// The store honours the options' capacity bound and snapshot file (see
+/// [`ServeOptions`]); snapshot problems are stderr warnings, never session
+/// failures. Returns `Err` only for transport failures — an unreadable
+/// input or an output that stops accepting writes; malformed job lines
+/// produce error records and the session continues.
 pub fn serve<R, W>(input: R, output: &mut W, options: &ServeOptions) -> Result<ServeSummary, String>
 where
     R: BufRead,
     W: Write + Send,
 {
-    let store = Arc::new(FactoryCache::new());
+    let store = Arc::new(match options.cache_capacity {
+        Some(capacity) => FactoryCache::with_capacity(capacity),
+        None => FactoryCache::new(),
+    });
+    let mut designs_loaded = 0usize;
+    if let Some(path) = &options.cache_file {
+        // A missing file is the normal first-session cold start; anything
+        // else unreadable is rejected loudly but non-fatally.
+        if path.exists() {
+            match store.load(path) {
+                Ok(added) => designs_loaded = added,
+                Err(e) => eprintln!("serve: ignoring cache snapshot: {e}"),
+            }
+        }
+    }
+    let completed_jobs = AtomicUsize::new(0);
     let gate = qre_par::Semaphore::new(options.max_in_flight);
     let (sender, receiver) = mpsc::channel::<Value>();
     let job_errors = AtomicUsize::new(0);
@@ -154,6 +228,9 @@ where
             let store = Arc::clone(&store);
             let job_errors = &job_errors;
             let output_dead = &output_dead;
+            let completed_jobs = &completed_jobs;
+            let cache_file = options.cache_file.as_deref();
+            let save_every = options.save_every;
             scope.spawn(move || {
                 let _permit = permit;
                 if output_dead.load(Ordering::Relaxed) {
@@ -161,6 +238,17 @@ where
                 }
                 if !run_serve_job(&line, ordinal, &store, &sender) {
                     job_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                // Periodic persistence: every `save_every` completed jobs,
+                // snapshot the store so a crash loses at most one stride of
+                // work. Saves are atomic and use unique temporary files, so
+                // a concurrent save (another job finishing, or the final
+                // save racing a slow one) cannot corrupt the snapshot.
+                let done = completed_jobs.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(path) = cache_file {
+                    if save_every > 0 && done.is_multiple_of(save_every) {
+                        save_store(&store, path);
+                    }
                 }
             });
         }
@@ -174,6 +262,14 @@ where
         }
     });
 
+    // Final save on every exit path — clean EOF, dead output, and fatal
+    // input errors alike: the designs this session searched are the state
+    // worth keeping, whatever ended the session.
+    let mut designs_saved = 0usize;
+    if let Some(path) = &options.cache_file {
+        designs_saved = save_store(&store, path);
+    }
+
     if let Some(message) = fatal {
         return Err(message);
     }
@@ -181,7 +277,22 @@ where
         jobs,
         job_errors: job_errors.load(Ordering::Relaxed),
         records: written?,
+        designs_loaded,
+        designs_saved,
     })
+}
+
+/// Snapshot the design store, reporting failures on stderr (persistence
+/// problems must never take down a serving session). Returns the number of
+/// designs persisted (0 on failure).
+fn save_store(store: &FactoryCache, path: &Path) -> usize {
+    match store.save(path) {
+        Ok(saved) => saved,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            0
+        }
+    }
 }
 
 /// Concatenate two JSON objects' fields (`head`'s first); a non-object
@@ -424,7 +535,10 @@ fn stats_record(id: &Value, engine: &Estimator, shard: Option<Shard>, counts: It
         .field("errors", counts.errors as u64)
         .field("cacheHits", cache.hits)
         .field("cacheMisses", cache.misses)
-        .field("cacheEntries", cache.entries as u64);
+        .field("cacheEntries", cache.entries as u64)
+        // Store-level, like `cacheEntries`: evictions since session start,
+        // shared by every job over the bounded store (0 when unbounded).
+        .field("cacheEvictions", cache.evictions);
     if let Some(s) = shard {
         stats = stats.field(
             "shard",

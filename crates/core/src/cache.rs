@@ -1,4 +1,5 @@
-//! Memoized T-factory designs, shared across estimation runs.
+//! Memoized T-factory designs: a bounded, persistent design store shared
+//! across estimation runs (and, through snapshots, across processes).
 //!
 //! The distillation-pipeline search ([`TFactoryBuilder::find_factory`]) is
 //! the most expensive stage of an estimate, and the paper's workloads repeat
@@ -15,16 +16,72 @@
 //! ([`Error::NoTFactory`]) are cached; the search is a pure function of the
 //! key. The cache is internally synchronized and safe to share across the
 //! worker threads of a parallel batch.
+//!
+//! ## Scoping model: one store, per-view counters
+//!
+//! A cache value is two separable things: the design *store* (behind its own
+//! [`Arc`]) and the hit/miss *counters* (owned by each view).
+//! [`FactoryCache::scoped`] hands out sibling views that share every
+//! memoized design while counting their own lookups — the shape a
+//! long-running job server needs: one process-wide store, exact per-job
+//! statistics even while jobs run concurrently. Store-level quantities
+//! (entries, capacity, evictions) are shared by every sibling; lookup
+//! counters (hits, misses) are per-view.
+//!
+//! ## Bounded size and eviction
+//!
+//! [`FactoryCache::with_capacity`] bounds the store to at most `capacity`
+//! designs, evicting the **least recently used** entry whenever an insert
+//! would exceed the bound (every lookup hit refreshes its entry's recency).
+//! Evictions are counted exactly in [`CacheStats::evictions`]; an evicted
+//! design is simply re-searched (and re-counted as a miss) if its scenario
+//! comes back. An unbounded cache ([`FactoryCache::new`]) never evicts.
+//!
+//! ## Persistence: versioned JSON snapshots
+//!
+//! [`FactoryCache::save`] writes the store as a versioned JSON snapshot and
+//! [`FactoryCache::load`] merges one back, so a design store can outlive its
+//! process (the `qre serve --cache-file` flow). The snapshot document is
+//!
+//! ```json
+//! {
+//!   "format": "qre-factory-cache",
+//!   "version": 1,
+//!   "entries": [ { "key": { "words": [...], "text": "..." }, "design": { ... } }, ... ]
+//! }
+//! ```
+//!
+//! where `format` must equal [`SNAPSHOT_FORMAT`] and `version` must equal
+//! [`SNAPSHOT_VERSION`]; anything else is rejected with a descriptive
+//! [`Error::InvalidInput`] so callers can warn loudly and fall back to a
+//! cold start instead of silently trusting a foreign file. Every `f64` in a
+//! snapshot is stored as its IEEE-754 bit pattern (a `u64`), making a
+//! save→load round trip **bit-exact**: a loaded design is indistinguishable
+//! from the one the search produced, and cache keys (which fingerprint
+//! floats by bit pattern) match exactly. Entries are written in
+//! least-recently-used-first order, so loading a snapshot into a cache with
+//! a smaller capacity keeps the most recently used designs. Saves are
+//! atomic (write to a unique temporary file, then rename), so a crash never
+//! leaves a half-written snapshot behind.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::physical_qubit::{InstructionSet, PhysicalQubit};
 use crate::qec::QecScheme;
-use crate::tfactory::{TFactory, TFactoryBuilder};
+use crate::tfactory::{FactoryRound, RoundLevel, TFactory, TFactoryBuilder};
+use qre_json::{ObjectBuilder, Value};
+
+/// Snapshot document type tag ([`FactoryCache::save`] writes it,
+/// [`FactoryCache::load`] requires it).
+pub const SNAPSHOT_FORMAT: &str = "qre-factory-cache";
+
+/// Snapshot schema version. Bump on any incompatible change to the entry
+/// encoding; [`FactoryCache::load`] rejects every other version loudly.
+pub const SNAPSHOT_VERSION: u64 = 1;
 
 /// Bit-exact fingerprint of one factory-design problem.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -134,46 +191,148 @@ fn factory_key(
     k.finish()
 }
 
-/// Hit/miss/size counters of a [`FactoryCache`].
+/// Hit/miss/size/eviction counters of a [`FactoryCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache (including lookups that raced a
-    /// concurrent search and adopted its first-written result).
+    /// concurrent search and adopted its first-written result). Per-view:
+    /// a [`FactoryCache::scoped`] sibling counts its own.
     pub hits: u64,
     /// Lookups whose search populated the cache: exactly one per distinct
-    /// key, however many threads race on it.
+    /// key, however many threads race on it. Per-view, like `hits`.
     pub misses: u64,
-    /// Distinct designs currently stored.
+    /// Distinct designs currently stored. Store-level: shared by every
+    /// scoped sibling.
     pub entries: usize,
+    /// Designs evicted to respect the capacity bound, since the store was
+    /// created. Store-level, like `entries`; always 0 for an unbounded
+    /// cache.
+    pub evictions: u64,
+    /// The store's capacity bound (`None` = unbounded).
+    pub capacity: Option<usize>,
 }
 
-/// Thread-safe memo table for T-factory pipeline searches.
+/// One stored design with its LRU bookkeeping.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: Result<TFactory>,
+    /// Logical timestamp of the last lookup or insert that touched this
+    /// entry (larger = more recent).
+    last_used: u64,
+}
+
+/// The shared design store: entries plus the state that must be common to
+/// every scoped view (capacity bound, LRU clock, eviction count).
+#[derive(Debug, Default)]
+struct Store {
+    entries: HashMap<FactoryKey, Slot>,
+    capacity: Option<usize>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl Store {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    fn touch(&mut self, key: &FactoryKey) -> Option<Result<TFactory>> {
+        let stamp = self.tick();
+        let slot = self.entries.get_mut(key)?;
+        slot.last_used = stamp;
+        Some(slot.value.clone())
+    }
+
+    /// Insert a design, then evict least-recently-used entries until the
+    /// capacity bound holds again. (With `capacity == Some(0)` the fresh
+    /// entry itself is evicted immediately: the store stays empty and every
+    /// lookup is a miss, which keeps the counters exact even in the
+    /// degenerate configuration.)
+    fn insert(&mut self, key: FactoryKey, value: Result<TFactory>) {
+        let stamp = self.tick();
+        self.entries.insert(
+            key,
+            Slot {
+                value,
+                last_used: stamp,
+            },
+        );
+        if let Some(capacity) = self.capacity {
+            while self.entries.len() > capacity {
+                let oldest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, slot)| slot.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty store over capacity");
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Thread-safe, bounded, persistable memo table for T-factory pipeline
+/// searches.
 ///
 /// The design *store* sits behind its own [`Arc`], separate from the
 /// hit/miss counters, so [`FactoryCache::scoped`] can hand out sibling
 /// cache views that share every memoized design while counting their own
 /// lookups — the shape a long-running job server needs: one process-wide
 /// store, exact per-job statistics even while jobs run concurrently.
+///
+/// The store can be **bounded** ([`FactoryCache::with_capacity`]): inserts
+/// beyond the capacity evict the least-recently-used design (every hit
+/// refreshes recency), with evictions counted exactly in
+/// [`CacheStats::evictions`]. It can also be **persisted**
+/// ([`FactoryCache::save`] / [`FactoryCache::load`]): a versioned JSON
+/// snapshot (`"format": "qre-factory-cache"`, `"version"` =
+/// [`SNAPSHOT_VERSION`]) in which every `f64` is stored as its IEEE-754
+/// bit pattern, so a save→load round trip reproduces designs bit-exactly;
+/// corrupt or version-mismatched snapshots are rejected with a descriptive
+/// error and leave the store untouched.
 #[derive(Debug, Default)]
 pub struct FactoryCache {
-    designs: Arc<Mutex<HashMap<FactoryKey, Result<TFactory>>>>,
+    store: Arc<Mutex<Store>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+/// Monotonic discriminator for temporary snapshot files, so concurrent
+/// saves (e.g. a periodic save racing the shutdown save) never interleave
+/// writes into one temporary file. The rename itself is atomic either way.
+static SAVE_DISCRIMINATOR: AtomicU64 = AtomicU64::new(0);
+
 impl FactoryCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache that stores at most `capacity` designs, evicting the
+    /// least recently used entry when an insert would exceed the bound.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = FactoryCache::new();
+        cache.store.lock().expect("factory cache lock").capacity = Some(capacity);
+        cache
+    }
+
+    /// The store's capacity bound (`None` = unbounded). Shared with every
+    /// [`FactoryCache::scoped`] sibling.
+    pub fn capacity(&self) -> Option<usize> {
+        self.store.lock().expect("factory cache lock").capacity
+    }
+
     /// A sibling view of this cache: it shares the stored designs (a hit in
-    /// either is visible to both) but starts from zeroed hit/miss counters,
-    /// so a caller can attribute lookups to one scope (e.g. one server job)
-    /// exactly, even while other scopes use the same store concurrently.
+    /// either is visible to both, as are capacity and evictions) but starts
+    /// from zeroed hit/miss counters, so a caller can attribute lookups to
+    /// one scope (e.g. one server job) exactly, even while other scopes use
+    /// the same store concurrently.
     pub fn scoped(&self) -> FactoryCache {
         FactoryCache {
-            designs: Arc::clone(&self.designs),
+            store: Arc::clone(&self.store),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -190,9 +349,9 @@ impl FactoryCache {
         required: f64,
     ) -> Result<TFactory> {
         let key = factory_key(builder, qubit, scheme, required);
-        if let Some(cached) = self.designs.lock().expect("factory cache lock").get(&key) {
+        if let Some(cached) = self.store.lock().expect("factory cache lock").touch(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            return cached;
         }
         // Search outside the lock: concurrent misses on the same key may
         // duplicate work once, but never block each other on the (long)
@@ -201,42 +360,317 @@ impl FactoryCache {
         // stored design, so `misses` counts exactly the searches that
         // populated the cache and every caller sees one canonical result.
         let designed = builder.find_factory(qubit, scheme, required);
-        match self.designs.lock().expect("factory cache lock").entry(key) {
-            Entry::Occupied(existing) => {
+        let mut store = self.store.lock().expect("factory cache lock");
+        match store.touch(&key) {
+            Some(existing) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                existing.get().clone()
+                existing
             }
-            Entry::Vacant(slot) => {
+            None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                slot.insert(designed.clone());
+                store.insert(key, designed.clone());
                 designed
             }
         }
     }
 
-    /// Current counters.
+    /// Current counters. `hits`/`misses` are this view's; `entries`,
+    /// `evictions`, and `capacity` are the shared store's.
     pub fn stats(&self) -> CacheStats {
+        let store = self.store.lock().expect("factory cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.designs.lock().expect("factory cache lock").len(),
+            entries: store.entries.len(),
+            evictions: store.evictions,
+            capacity: store.capacity,
         }
     }
 
-    /// Drop every stored design and reset this view's counters. The store
-    /// is shared with every [`FactoryCache::scoped`] sibling, so their
-    /// entries disappear too; their counters are their own and keep counting.
+    /// Drop every stored design, reset the eviction count, and reset this
+    /// view's counters. The store is shared with every
+    /// [`FactoryCache::scoped`] sibling, so their entries disappear too;
+    /// their hit/miss counters are their own and keep counting. The
+    /// capacity bound is kept.
     pub fn clear(&self) {
-        self.designs.lock().expect("factory cache lock").clear();
+        let mut store = self.store.lock().expect("factory cache lock");
+        store.entries.clear();
+        store.evictions = 0;
+        drop(store);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+
+    /// Serialize the store as a versioned snapshot document (see the module
+    /// docs for the format). Entries are ordered least-recently-used first,
+    /// so loading into a smaller-capacity cache keeps the freshest designs.
+    pub fn snapshot(&self) -> Value {
+        let store = self.store.lock().expect("factory cache lock");
+        let mut slots: Vec<(&FactoryKey, &Slot)> = store.entries.iter().collect();
+        slots.sort_by_key(|(_, slot)| slot.last_used);
+        let entries: Vec<Value> = slots
+            .into_iter()
+            .filter_map(|(key, slot)| entry_to_json(key, &slot.value))
+            .collect();
+        ObjectBuilder::new()
+            .field("format", SNAPSHOT_FORMAT)
+            .field("version", SNAPSHOT_VERSION)
+            .field("entries", Value::Array(entries))
+            .build()
+    }
+
+    /// Merge a snapshot document into this cache, returning how many of the
+    /// snapshot's designs the store **retained**. Entries whose key is
+    /// already present are skipped (the search is pure, so the stored
+    /// design is identical); the capacity bound applies as usual, evicting
+    /// if the merge overflows it — designs the bound discarded on the spot
+    /// are not counted, so the return value is the warm state the caller
+    /// actually gained, not the insert attempts. Fails with
+    /// [`Error::InvalidInput`] — without touching the store — when the
+    /// document is not a snapshot, names another format, or carries a
+    /// different [`SNAPSHOT_VERSION`].
+    pub fn load_snapshot(&self, doc: &Value) -> Result<usize> {
+        let invalid = |msg: String| Error::InvalidInput(format!("factory-cache snapshot: {msg}"));
+        if doc.as_object().is_none() {
+            return Err(invalid("not a JSON object".into()));
+        }
+        match doc.get("format").and_then(Value::as_str) {
+            Some(SNAPSHOT_FORMAT) => {}
+            Some(other) => return Err(invalid(format!("unknown format `{other}`"))),
+            None => return Err(invalid("missing `format` field".into())),
+        }
+        match doc.get("version").and_then(Value::as_u64) {
+            Some(SNAPSHOT_VERSION) => {}
+            Some(other) => {
+                return Err(invalid(format!(
+                    "version {other} is not the supported version {SNAPSHOT_VERSION}"
+                )))
+            }
+            None => return Err(invalid("missing integer `version` field".into())),
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| invalid("missing `entries` array".into()))?;
+        // Decode every entry before touching the store: a corrupt entry
+        // rejects the whole snapshot instead of half-loading it.
+        let mut decoded = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            decoded
+                .push(entry_from_json(entry).map_err(|e| invalid(format!("entries[{i}]: {e}")))?);
+        }
+        let mut store = self.store.lock().expect("factory cache lock");
+        let mut inserted: Vec<FactoryKey> = Vec::new();
+        for (key, value) in decoded {
+            if !store.entries.contains_key(&key) {
+                store.insert(key.clone(), value);
+                inserted.push(key);
+            }
+        }
+        // Count what survived, not what was attempted: a capacity-bounded
+        // store may have evicted part of the snapshot immediately, and
+        // callers report this number as the session's warm state.
+        Ok(inserted
+            .iter()
+            .filter(|key| store.entries.contains_key(*key))
+            .count())
+    }
+
+    /// Write the snapshot to `path` atomically (unique temporary file in
+    /// the same directory, then rename), returning how many designs were
+    /// persisted. A crash mid-save leaves any previous snapshot intact.
+    pub fn save(&self, path: &Path) -> std::result::Result<usize, String> {
+        let snapshot = self.snapshot();
+        let persisted = snapshot
+            .get("entries")
+            .and_then(Value::as_array)
+            .map_or(0, <[Value]>::len);
+        let discriminator = SAVE_DISCRIMINATOR.fetch_add(1, Ordering::Relaxed);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}.{discriminator}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let write = std::fs::write(&tmp, snapshot.to_string_compact())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(format!(
+                "failed to save cache snapshot to {}: {e}",
+                path.display()
+            ));
+        }
+        Ok(persisted)
+    }
+
+    /// Read a snapshot file and merge it into this cache (see
+    /// [`FactoryCache::load_snapshot`]), returning how many designs the
+    /// store retained. Unreadable files, non-JSON content, and format/version
+    /// mismatches all return a descriptive error and leave the store
+    /// untouched — callers are expected to warn and continue cold.
+    pub fn load(&self, path: &Path) -> std::result::Result<usize, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("failed to read cache snapshot {}: {e}", path.display()))?;
+        let doc = qre_json::parse(&text)
+            .map_err(|e| format!("cache snapshot {} is not JSON: {e}", path.display()))?;
+        self.load_snapshot(&doc)
+            .map_err(|e| format!("cache snapshot {}: {e}", path.display()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot encoding. Every f64 is stored as its IEEE-754 bit pattern (u64),
+// so the round trip is bit-exact; qre-json preserves u64 exactly.
+// ---------------------------------------------------------------------------
+
+fn bits(v: f64) -> Value {
+    Value::from(v.to_bits())
+}
+
+fn f64_field(v: &Value, key: &str) -> std::result::Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(f64::from_bits)
+        .ok_or_else(|| format!("missing bit-pattern field `{key}`"))
+}
+
+fn u64_field(v: &Value, key: &str) -> std::result::Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> std::result::Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+/// Encode one store entry, or `None` for values that cannot round-trip
+/// (error kinds other than the deterministic [`Error::NoTFactory`], which
+/// in practice never reach the store).
+fn entry_to_json(key: &FactoryKey, value: &Result<TFactory>) -> Option<Value> {
+    let key_json = ObjectBuilder::new()
+        .field(
+            "words",
+            Value::Array(key.words.iter().map(|w| Value::from(*w)).collect()),
+        )
+        .field("text", key.text.as_str())
+        .build();
+    let value_json = match value {
+        Ok(factory) => ObjectBuilder::new()
+            .field("design", factory_to_json(factory))
+            .build(),
+        Err(Error::NoTFactory { required }) => ObjectBuilder::new()
+            .field(
+                "noTFactory",
+                ObjectBuilder::new()
+                    .field("requiredBits", bits(*required))
+                    .build(),
+            )
+            .build(),
+        Err(_) => return None,
+    };
+    let mut entry = ObjectBuilder::new().field("key", key_json).build();
+    if let (Value::Object(pairs), Value::Object(tail)) = (&mut entry, value_json) {
+        pairs.extend(tail);
+    }
+    Some(entry)
+}
+
+fn entry_from_json(entry: &Value) -> std::result::Result<(FactoryKey, Result<TFactory>), String> {
+    let key = entry.get("key").ok_or("missing `key` object")?;
+    let words = key
+        .get("words")
+        .and_then(Value::as_array)
+        .ok_or("missing `key.words` array")?
+        .iter()
+        .map(|w| w.as_u64().ok_or_else(|| "non-integer key word".to_string()))
+        .collect::<std::result::Result<Vec<u64>, String>>()?;
+    let text = str_field(key, "text")?.to_owned();
+    let key = FactoryKey { words, text };
+    if let Some(design) = entry.get("design") {
+        return Ok((key, Ok(factory_from_json(design)?)));
+    }
+    if let Some(failure) = entry.get("noTFactory") {
+        let required = f64_field(failure, "requiredBits")?;
+        return Ok((key, Err(Error::NoTFactory { required })));
+    }
+    Err("entry carries neither `design` nor `noTFactory`".into())
+}
+
+fn factory_to_json(f: &TFactory) -> Value {
+    let rounds: Vec<Value> = f
+        .rounds
+        .iter()
+        .map(|r| {
+            ObjectBuilder::new()
+                .field("unit", r.unit_name.as_str())
+                .field(
+                    "codeDistance",
+                    match r.level {
+                        RoundLevel::Physical => 0u64,
+                        RoundLevel::Logical { code_distance } => u64::from(code_distance),
+                    },
+                )
+                .field("copies", r.copies)
+                .field("inputErrorRateBits", bits(r.input_error_rate))
+                .field("outputErrorRateBits", bits(r.output_error_rate))
+                .field("failureProbabilityBits", bits(r.failure_probability))
+                .field("physicalQubitsPerUnit", r.physical_qubits_per_unit)
+                .field("durationNsBits", bits(r.duration_ns))
+                .build()
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("physicalQubits", f.physical_qubits)
+        .field("durationNsBits", bits(f.duration_ns))
+        .field("outputErrorRateBits", bits(f.output_error_rate))
+        .field("outputTStates", f.output_t_states)
+        .field("inputErrorRateBits", bits(f.input_error_rate))
+        .field("rounds", Value::Array(rounds))
+        .build()
+}
+
+fn factory_from_json(v: &Value) -> std::result::Result<TFactory, String> {
+    let rounds = v
+        .get("rounds")
+        .and_then(Value::as_array)
+        .ok_or("missing `rounds` array")?
+        .iter()
+        .map(|r| {
+            let code_distance = u64_field(r, "codeDistance")?;
+            let level = if code_distance == 0 {
+                RoundLevel::Physical
+            } else {
+                RoundLevel::Logical {
+                    code_distance: u32::try_from(code_distance)
+                        .map_err(|_| "codeDistance out of range".to_string())?,
+                }
+            };
+            Ok(FactoryRound {
+                unit_name: str_field(r, "unit")?.to_owned(),
+                level,
+                copies: u64_field(r, "copies")?,
+                input_error_rate: f64_field(r, "inputErrorRateBits")?,
+                output_error_rate: f64_field(r, "outputErrorRateBits")?,
+                failure_probability: f64_field(r, "failureProbabilityBits")?,
+                physical_qubits_per_unit: u64_field(r, "physicalQubitsPerUnit")?,
+                duration_ns: f64_field(r, "durationNsBits")?,
+            })
+        })
+        .collect::<std::result::Result<Vec<FactoryRound>, String>>()?;
+    Ok(TFactory {
+        rounds,
+        physical_qubits: u64_field(v, "physicalQubits")?,
+        duration_ns: f64_field(v, "durationNsBits")?,
+        output_error_rate: f64_field(v, "outputErrorRateBits")?,
+        output_t_states: u64_field(v, "outputTStates")?,
+        input_error_rate: f64_field(v, "inputErrorRateBits")?,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::Error;
 
     fn problem() -> (TFactoryBuilder, PhysicalQubit, QecScheme) {
         (
@@ -259,6 +693,8 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.capacity, None);
     }
 
     #[test]
@@ -358,5 +794,175 @@ mod tests {
         cache.clear();
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    /// Distinct design problems: the same scenario at progressively tighter
+    /// requirements (each `required` is part of the key).
+    fn requirement(i: usize) -> f64 {
+        1e-8 * 0.5f64.powi(i as i32)
+    }
+
+    #[test]
+    fn capacity_is_respected_and_evictions_are_counted() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        for i in 0..5 {
+            cache.find_factory(&b, &q, &s, requirement(i)).unwrap();
+            assert!(cache.stats().entries <= 2, "capacity bound violated");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 3, "exactly overflow count evictions");
+        assert_eq!(stats.capacity, Some(2));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::with_capacity(2);
+        cache.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        cache.find_factory(&b, &q, &s, requirement(1)).unwrap();
+        // Refresh entry 0, then overflow: entry 1 is now the LRU victim.
+        cache.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        cache.find_factory(&b, &q, &s, requirement(2)).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        // Entry 0 survived (hit); entry 1 was evicted (miss again).
+        cache.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        cache.find_factory(&b, &q, &s, requirement(1)).unwrap();
+        assert_eq!(cache.stats().misses, 4, "evicted design re-searched");
+    }
+
+    #[test]
+    fn evicted_designs_recompute_identically() {
+        let (b, q, s) = problem();
+        let bounded = FactoryCache::with_capacity(1);
+        let first = bounded.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        bounded.find_factory(&b, &q, &s, requirement(1)).unwrap(); // evicts 0
+        let again = bounded.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        assert_eq!(first, again, "re-searched design is identical");
+        assert!(bounded.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        let design = cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert!(cache.find_factory(&b, &q, &s, 1e-60).is_err()); // cached failure
+        let doc = cache.snapshot();
+        assert_eq!(doc.get("format").unwrap().as_str(), Some(SNAPSHOT_FORMAT));
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(SNAPSHOT_VERSION));
+
+        // Round trip through the *printed* form, as the file flow does.
+        let reparsed = qre_json::parse(&doc.to_string_compact()).unwrap();
+        let fresh = FactoryCache::new();
+        assert_eq!(fresh.load_snapshot(&reparsed).unwrap(), 2);
+        let warm = fresh.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert_eq!(warm, design, "loaded design is bit-identical");
+        match fresh.find_factory(&b, &q, &s, 1e-60) {
+            Err(Error::NoTFactory { required }) => assert_eq!(required, 1e-60),
+            other => panic!("expected cached NoTFactory, got {other:?}"),
+        }
+        let stats = fresh.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 0), "all lookups warm");
+    }
+
+    #[test]
+    fn load_snapshot_skips_known_keys() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        let doc = cache.snapshot();
+        assert_eq!(cache.load_snapshot(&doc).unwrap(), 0, "nothing new to add");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_snapshots_are_rejected() {
+        let cache = FactoryCache::new();
+        let reject = |doc: &str, needle: &str| {
+            let err = cache
+                .load_snapshot(&qre_json::parse(doc).unwrap())
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "`{needle}` not in `{err}`");
+        };
+        reject("{}", "format");
+        reject(
+            r#"{"format": "something-else", "version": 1}"#,
+            "something-else",
+        );
+        reject(
+            r#"{"format": "qre-factory-cache", "version": 999, "entries": []}"#,
+            "version 999",
+        );
+        reject(
+            r#"{"format": "qre-factory-cache", "version": 1}"#,
+            "entries",
+        );
+        reject(
+            r#"{"format": "qre-factory-cache", "version": 1, "entries": [ {"key": 5} ]}"#,
+            "entries[0]",
+        );
+        reject("[1, 2]", "object");
+        assert_eq!(cache.stats().entries, 0, "rejected loads leave no residue");
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        cache.find_factory(&b, &q, &s, 1e-10).unwrap();
+        cache.find_factory(&b, &q, &s, 1e-11).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "qre-cache-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        assert_eq!(cache.save(&path).unwrap(), 2);
+
+        let fresh = FactoryCache::new();
+        assert_eq!(fresh.load(&path).unwrap(), 2);
+        fresh.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert_eq!(fresh.stats().hits, 1);
+
+        // Corrupt file: descriptive error, store untouched.
+        std::fs::write(&path, "definitely { not json").unwrap();
+        let untouched = FactoryCache::new();
+        let err = untouched.load(&path).unwrap_err();
+        assert!(err.contains("not JSON"), "{err}");
+        assert_eq!(untouched.stats().entries, 0);
+
+        // Missing file: descriptive error too.
+        std::fs::remove_file(&path).unwrap();
+        assert!(untouched
+            .load(&path)
+            .unwrap_err()
+            .contains("failed to read"));
+    }
+
+    #[test]
+    fn snapshot_orders_entries_for_capacity_truncation() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        for i in 0..4 {
+            cache.find_factory(&b, &q, &s, requirement(i)).unwrap();
+        }
+        // Refresh entry 0 so it is the most recently used.
+        cache.find_factory(&b, &q, &s, requirement(0)).unwrap();
+
+        let bounded = FactoryCache::with_capacity(2);
+        let retained = bounded.load_snapshot(&cache.snapshot()).unwrap();
+        assert_eq!(retained, 2, "only surviving designs are reported");
+        let stats = bounded.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+        // The refreshed entry survived the truncating load.
+        bounded.find_factory(&b, &q, &s, requirement(0)).unwrap();
+        assert_eq!(bounded.stats().hits, 1, "most recent design kept");
     }
 }

@@ -23,6 +23,23 @@
 //! across every estimate the engine runs, so repeated scenarios (a profile
 //! sweep re-run, the frontier's dozens of re-estimates of one scenario,
 //! identical batch items) skip the search entirely.
+//!
+//! ## Sharing, bounding, and persisting the cache
+//!
+//! [`Estimator::with_cache`] builds an engine over a caller-provided
+//! [`Arc<FactoryCache>`], which is how wider scopes compose:
+//!
+//! * **process-wide** — many engines (e.g. one per server job) over one
+//!   store, each via [`FactoryCache::scoped`] for exact per-engine counters;
+//! * **bounded** — a store built with [`FactoryCache::with_capacity`]
+//!   evicts least-recently-used designs, keeping week-long sessions at a
+//!   fixed memory ceiling ([`crate::CacheStats::evictions`] counts exactly);
+//! * **cross-process** — [`FactoryCache::save`] / [`FactoryCache::load`]
+//!   snapshot the store to a versioned JSON file, so the next process (or
+//!   the next `qre serve --cache-file` session) starts warm.
+//!
+//! See the [`FactoryCache`] docs for the scoping model and the snapshot
+//! format.
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -408,14 +425,29 @@ impl<O> Drop for OutcomeStream<O> {
 /// fails with [`Error::InvalidInput`] if the union has a duplicate or
 /// missing index — i.e. unless the shards came from one spec partitioned by
 /// a single `(count)` — so a successful merge *is* the proof that the union
-/// covers the unsharded sweep exactly.
+/// covers the unsharded sweep exactly. ([`merge_indexed`] is the same join
+/// for any item type that carries its global index; the `qre merge` CLI
+/// verb uses it to join shard NDJSON files record-by-record.)
 pub fn merge_sharded(
     shards: impl IntoIterator<Item = Vec<SweepOutcome>>,
 ) -> Result<Vec<SweepOutcome>> {
-    let mut merged: Vec<SweepOutcome> = shards.into_iter().flatten().collect();
-    merged.sort_by_key(|o| o.point.index);
-    for (expected, outcome) in merged.iter().enumerate() {
-        let found = outcome.point.index;
+    merge_indexed(shards, |o| o.point.index)
+}
+
+/// The validating shard join over any item type: flatten the per-shard
+/// vectors, sort by each item's global index (`index_of`), and verify the
+/// union is exactly `0..n` — a duplicate or missing index fails with
+/// [`Error::InvalidInput`] naming the first gap. [`merge_sharded`] is this
+/// join specialized to [`SweepOutcome`]s; the CLI's `qre merge` verb applies
+/// it to raw NDJSON records via their `"index"` field.
+pub fn merge_indexed<T>(
+    shards: impl IntoIterator<Item = Vec<T>>,
+    index_of: impl Fn(&T) -> usize,
+) -> Result<Vec<T>> {
+    let mut merged: Vec<T> = shards.into_iter().flatten().collect();
+    merged.sort_by_key(&index_of);
+    for (expected, item) in merged.iter().enumerate() {
+        let found = index_of(item);
         if found != expected {
             return Err(Error::InvalidInput(format!(
                 "sharded outcomes do not cover the sweep: expected item index {expected}, \

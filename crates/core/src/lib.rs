@@ -30,6 +30,14 @@
 //! ([`Estimator::estimate_batch_stream`], [`Estimator::sweep_stream`]).
 //! [`EstimationJob`] is the one-shot convenience wrapper; power users drive
 //! [`PhysicalResourceEstimation`] directly.
+//!
+//! The engine's memoized T-factory design store ([`FactoryCache`]) can be
+//! shared process-wide ([`FactoryCache::scoped`] views with exact per-scope
+//! counters), bounded ([`FactoryCache::with_capacity`] with LRU eviction),
+//! and persisted across processes ([`FactoryCache::save`] /
+//! [`FactoryCache::load`] versioned JSON snapshots). Sweeps partition
+//! across processes with [`SweepSpec::shard`] and re-join through the
+//! validating merges [`merge_sharded`] / [`merge_indexed`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -49,10 +57,10 @@ mod result;
 mod tfactory;
 
 pub use budget::ErrorBudget;
-pub use cache::{CacheStats, FactoryCache};
+pub use cache::{CacheStats, FactoryCache, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use engine::{
-    collect_results, merge_sharded, BatchOutcome, BatchStream, Estimator, OutcomeStream,
-    SweepOutcome, SweepStream,
+    collect_results, merge_indexed, merge_sharded, BatchOutcome, BatchStream, Estimator,
+    OutcomeStream, SweepOutcome, SweepStream,
 };
 pub use error::{Error, Result};
 pub use estimate::{Constraints, PhysicalResourceEstimation};

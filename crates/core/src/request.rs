@@ -459,7 +459,9 @@ impl SweepSpec {
     /// Split this spec into `count` shards covering the whole row-major
     /// expansion: `spec.shard(n)[i]` equals `spec.shard_of(i, n)`. Shards
     /// beyond the item count come back empty ([`SweepSpec::len`] of 0), so
-    /// `count` may exceed the number of expanded items.
+    /// `count` may exceed the number of expanded items. The join side is
+    /// [`crate::merge_sharded`] in-process, or the `qre merge` CLI verb
+    /// over the shard sessions' NDJSON output files.
     pub fn shard(&self, count: usize) -> Result<Vec<SweepSpec>> {
         (0..count)
             .map(|index| self.clone().shard_of(index, count))

@@ -43,7 +43,10 @@ fn main() {
     let summary = serve(
         SCRIPT.as_bytes(),
         &mut output,
-        &ServeOptions { max_in_flight: 2 },
+        &ServeOptions {
+            max_in_flight: 2,
+            ..ServeOptions::default()
+        },
     )
     .expect("serve session");
 

@@ -2,8 +2,13 @@
 # Server-mode smoke test: pipe a small NDJSON job script — an estimate, a
 # sweep, a sharded sweep, and one malformed line — into `qre serve` and
 # assert the session's exit code, its record count, and that the malformed
-# line yielded an error record instead of a crash. Run from the workspace
-# root; CI runs it after `cargo build --release`.
+# line yielded an error record instead of a crash. Then exercise the
+# persistence and fan-in story: two `--cache-file` sessions (the second must
+# run entirely from the first's snapshot, and a corrupted snapshot must warn
+# and start cold, never crash), and `qre merge` over two sharded sessions'
+# outputs (the merge must byte-equal the unsharded session's item records
+# after re-sorting). Run from the workspace root; CI runs it after
+# `cargo build --release`.
 set -euo pipefail
 
 QRE=${QRE:-target/release/qre}
@@ -13,7 +18,8 @@ if [ ! -x "$QRE" ]; then
 fi
 
 out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+workdir=$(mktemp -d)
+trap 'rm -f "$out"; rm -rf "$workdir"' EXIT
 
 printf '%s\n' \
   '{ "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }' \
@@ -42,4 +48,55 @@ stats=$(grep -c '"stats":' "$out") || true
 grep -q '{"job":"shard-1","stats":{"items":3,"errors":0,"cacheHits":3,"cacheMisses":0' "$out" \
   || fail "sharded job did not run from the warm session cache"
 
-echo "serve_smoke: OK ($records records, 1 error record, warm-cache shard)"
+# --- Persistent cache across two sessions -----------------------------------
+
+SWEEP_JOB='{ "id": "sweep", "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }'
+cache="$workdir/designs.json"
+
+# Session 1: cold, saves its snapshot at exit.
+echo "$SWEEP_JOB" | "$QRE" serve --jobs 1 --cache-file "$cache" > "$workdir/session1.ndjson"
+[ -f "$cache" ] || fail "session 1 left no cache snapshot"
+grep -q '"cacheMisses":6' "$workdir/session1.ndjson" \
+  || { cp "$workdir/session1.ndjson" "$out"; fail "session 1 was not cold"; }
+
+# Session 2: a fresh process over the snapshot — zero searches.
+echo "$SWEEP_JOB" | "$QRE" serve --jobs 1 --cache-file "$cache" > "$workdir/session2.ndjson"
+grep -q '"cacheHits":6,"cacheMisses":0' "$workdir/session2.ndjson" \
+  || { cp "$workdir/session2.ndjson" "$out"; fail "session 2 did not run from the snapshot"; }
+
+# Corrupt snapshot: loud stderr warning, cold session, exit 0.
+echo 'not a snapshot at all' > "$cache"
+echo "$SWEEP_JOB" | "$QRE" serve --jobs 1 --cache-file "$cache" \
+  > "$workdir/session3.ndjson" 2> "$workdir/session3.err"
+grep -q '"cacheMisses":6' "$workdir/session3.ndjson" \
+  || { cp "$workdir/session3.ndjson" "$out"; fail "corrupt snapshot did not fall back to a cold start"; }
+grep -q 'ignoring cache snapshot' "$workdir/session3.err" \
+  || { cp "$workdir/session3.err" "$out"; fail "corrupt snapshot was not reported"; }
+
+# --- qre merge over sharded sessions ----------------------------------------
+
+SWEEP_BODY='"sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] }'
+echo "{ \"id\": \"fig4\", $SWEEP_BODY }" | "$QRE" serve --jobs 1 > "$workdir/full.ndjson"
+for i in 0 1; do
+  echo "{ \"id\": \"fig4\", \"shard\": {\"index\": $i, \"count\": 2}, $SWEEP_BODY }" \
+    | "$QRE" serve --jobs 1 > "$workdir/shard$i.ndjson"
+done
+"$QRE" merge "$workdir/shard0.ndjson" "$workdir/shard1.ndjson" > "$workdir/merged.ndjson"
+merged=$(wc -l < "$workdir/merged.ndjson")
+[ "$merged" -eq 6 ] || { cp "$workdir/merged.ndjson" "$out"; fail "expected 6 merged records, got $merged"; }
+# The merge byte-equals the unsharded session's item records (after
+# re-sorting both sides; the unsharded session emits in completion order).
+if ! diff <(sort "$workdir/merged.ndjson") \
+          <(grep -v '"stats":' "$workdir/full.ndjson" | sort) > /dev/null; then
+  cp "$workdir/merged.ndjson" "$out"
+  fail "merged shard output diverges from the unsharded sweep"
+fi
+# An incomplete shard set must fail loudly.
+if "$QRE" merge "$workdir/shard1.ndjson" > /dev/null 2> "$workdir/merge.err"; then
+  fail "merge of an incomplete shard set unexpectedly succeeded"
+fi
+grep -q 'do not cover' "$workdir/merge.err" \
+  || { cp "$workdir/merge.err" "$out"; fail "incomplete merge did not name the gap"; }
+
+echo "serve_smoke: OK ($records records, 1 error record, warm-cache shard," \
+     "persistent cache across sessions, shard merge == unsharded sweep)"

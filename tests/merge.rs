@@ -1,0 +1,108 @@
+//! The shard fan-out/fan-in story end-to-end: sharded serve sessions whose
+//! NDJSON outputs are re-joined by the `qre merge` machinery
+//! (`qre_cli::merge_files`) must reproduce the unsharded session's item
+//! records exactly.
+
+use std::path::PathBuf;
+
+use qre_cli::{merge_files, serve, ServeOptions};
+
+const SWEEP_BODY: &str = r#""sweep": { "algorithms": [ { "multiplication": { "algorithm": "windowed", "bits": 64 } } ], "qubitParams": [ { "name": "qubit_gate_ns_e3" }, { "name": "qubit_maj_ns_e4" }, { "name": "qubit_gate_ns_e4" } ], "errorBudgets": [ 1e-4, 1e-3 ] }"#;
+
+fn sequential() -> ServeOptions {
+    ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    }
+}
+
+fn run_serve_to_string(script: &str) -> String {
+    let mut bytes: Vec<u8> = Vec::new();
+    let summary =
+        serve(script.as_bytes(), &mut bytes, &sequential()).expect("serve session succeeds");
+    assert_eq!(summary.job_errors, 0);
+    String::from_utf8(bytes).unwrap()
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "qre-merge-e2e-{}-{:?}-{name}.ndjson",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn merged_shard_files_equal_the_unsharded_session() {
+    // Unsharded reference session: its item records, re-sorted by index.
+    let unsharded = run_serve_to_string(&format!("{{ \"id\": \"s\", {SWEEP_BODY} }}\n"));
+    let mut want: Vec<&str> = unsharded
+        .lines()
+        .filter(|l| l.contains("\"index\":"))
+        .collect();
+    want.sort();
+    assert_eq!(want.len(), 6);
+
+    // Two separate shard sessions (separate processes in production), their
+    // outputs written to files as the README flow does.
+    let mut shard_paths: Vec<PathBuf> = Vec::new();
+    for index in 0..2 {
+        let line = format!(
+            "{{ \"id\": \"s\", \"shard\": {{\"index\": {index}, \"count\": 2}}, {SWEEP_BODY} }}\n"
+        );
+        shard_paths.push(temp_file(
+            &format!("shard{index}"),
+            &run_serve_to_string(&line),
+        ));
+    }
+
+    // `qre merge` over the two files: item records only, in global index
+    // order, stats records dropped.
+    let args: Vec<String> = shard_paths
+        .iter()
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    let mut merged: Vec<u8> = Vec::new();
+    let summary = merge_files(&args, &mut merged).unwrap();
+    assert_eq!((summary.files, summary.items), (2, 6));
+    assert_eq!(summary.skipped, 2, "one stats record per shard dropped");
+
+    let merged = String::from_utf8(merged).unwrap();
+    let merged_lines: Vec<&str> = merged.lines().collect();
+    // Global expansion order out of the merge…
+    let indices: Vec<&str> = merged_lines
+        .iter()
+        .filter_map(|l| l.split("\"index\":").nth(1))
+        .collect();
+    for (i, rest) in indices.iter().enumerate() {
+        assert!(rest.starts_with(&i.to_string()), "line {i} out of order");
+    }
+    // …and byte-for-byte the unsharded records after re-sorting both sides.
+    let mut got = merged_lines.clone();
+    got.sort();
+    assert_eq!(
+        got, want,
+        "merge output diverges from the unsharded session"
+    );
+
+    for path in shard_paths {
+        std::fs::remove_file(path).unwrap();
+    }
+}
+
+#[test]
+fn merge_rejects_an_incomplete_shard_set() {
+    // Shard 1 alone: its global indices start past the missing shard 0, so
+    // the validating join names the gap. (A lone *prefix* shard is
+    // indistinguishable from a complete smaller sweep — the join validates
+    // contiguity from 0, the strongest check possible without the spec.)
+    let line =
+        format!("{{ \"id\": \"s\", \"shard\": {{\"index\": 1, \"count\": 2}}, {SWEEP_BODY} }}\n");
+    let path = temp_file("lonely", &run_serve_to_string(&line));
+    let args = vec![path.to_string_lossy().into_owned()];
+    let err = merge_files(&args, &mut Vec::new()).unwrap_err();
+    assert!(err.contains("do not cover"), "{err}");
+    std::fs::remove_file(path).unwrap();
+}

@@ -17,7 +17,10 @@ fn run_serve(script: &str, options: &ServeOptions) -> (qre_cli::ServeSummary, Ve
 }
 
 fn sequential() -> ServeOptions {
-    ServeOptions { max_in_flight: 1 }
+    ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    }
 }
 
 const ESTIMATE_LINE: &str =
@@ -339,7 +342,13 @@ fn concurrent_jobs_interleave_but_lose_nothing() {
             "{{ \"id\": \"j{i}\", \"sweep\": {{ \"algorithms\": [ {{ \"logicalCounts\": {{ \"numQubits\": 10, \"tCount\": 100 }} }} ], \"errorBudgets\": [ 1e-4 ] }} }}\n"
         ));
     }
-    let (summary, lines) = run_serve(&script, &ServeOptions { max_in_flight: 4 });
+    let (summary, lines) = run_serve(
+        &script,
+        &ServeOptions {
+            max_in_flight: 4,
+            ..ServeOptions::default()
+        },
+    );
     assert_eq!(summary.jobs, 4);
     assert_eq!(summary.job_errors, 0);
     assert_eq!(summary.records, 4 * 7);

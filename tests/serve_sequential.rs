@@ -54,13 +54,22 @@ fn sequential_serve_matches_parallel_after_resorting() {
 
     // Fully sequential: one job at a time, one worker thread. Two runs must
     // be byte-identical, in order — determinism, not just set equality.
-    let first = run(&ServeOptions { max_in_flight: 1 });
-    let second = run(&ServeOptions { max_in_flight: 1 });
+    let first = run(&ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    });
+    let second = run(&ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    });
     assert_eq!(first, second, "sequential serve is deterministic");
 
     // Parallel jobs and workers: same records, any order.
     std::env::remove_var("QRE_THREADS");
-    let parallel = run(&ServeOptions { max_in_flight: 3 });
+    let parallel = run(&ServeOptions {
+        max_in_flight: 3,
+        ..ServeOptions::default()
+    });
     let mut sequential_sorted: Vec<String> =
         first.iter().map(|l| scheduling_invariant(l)).collect();
     let mut parallel_sorted: Vec<String> =
