@@ -48,7 +48,7 @@ pub use counts::{LogicalCounts, LogicalCountsBuilder};
 pub use gate::{classify_angle, Gate, GateKind, QubitId};
 pub use tracer::{CountingTracer, NullSink, Sink, TeeSink};
 
-// Property-based tests need a vendored `proptest`; enable with
-// `--features proptests` once one is available.
-#[cfg(all(test, feature = "proptests"))]
+// Property-based tests, on the in-repo `qre-proptest` harness (its library
+// target is named `proptest`, keeping the upstream-compatible imports).
+#[cfg(test)]
 mod proptests;

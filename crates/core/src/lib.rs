@@ -84,7 +84,7 @@ pub use tfactory::{
 /// Convenience alias: a hardware profile *is* a physical qubit model.
 pub type HardwareProfile = PhysicalQubit;
 
-// Property-based tests need a vendored `proptest`; enable with
-// `--features proptests` once one is available.
-#[cfg(all(test, feature = "proptests"))]
+// Property-based tests, on the in-repo `qre-proptest` harness (its library
+// target is named `proptest`, keeping the upstream-compatible imports).
+#[cfg(test)]
 mod proptests;

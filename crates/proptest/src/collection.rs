@@ -1,0 +1,156 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::collections::BTreeMap;
+
+use crate::source::Source;
+use crate::strategy::{NewValue, Strategy};
+
+/// Accepted sizes for a generated collection (half-open like `Range`, both
+/// ends inclusive for `RangeInclusive` and exact for a bare `usize`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(self, source: &mut Source) -> usize {
+        let span = (self.max - self.min) as u64 + 1;
+        self.min + (source.draw() % span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes in `size` (mirrors
+/// `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, source: &mut Source) -> NewValue<Vec<S::Value>> {
+        let len = self.size.pick(source);
+        (0..len).map(|_| self.element.generate(source)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with *up to* `size` entries — duplicate
+/// generated keys collapse, exactly as in proptest (mirrors
+/// `proptest::collection::btree_map`).
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, source: &mut Source) -> NewValue<BTreeMap<K::Value, V::Value>> {
+        let len = self.size.pick(source);
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            map.insert(self.keys.generate(source)?, self.values.generate(source)?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_stay_in_range() {
+        let strategy = vec(0u8..10, 2..5);
+        for seed in 0..100 {
+            let v = strategy.generate(&mut Source::fresh(seed)).unwrap();
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&e| e < 10));
+        }
+        // A zero draw gives the minimal length.
+        let v = strategy.generate(&mut Source::replay(vec![])).unwrap();
+        assert_eq!(v, vec![0, 0]);
+    }
+
+    #[test]
+    fn exact_and_inclusive_sizes() {
+        let exact = vec(0u8..10, 3);
+        assert_eq!(exact.generate(&mut Source::fresh(9)).unwrap().len(), 3);
+        let incl = vec(0u8..10, 1..=2);
+        for seed in 0..50 {
+            let len = incl.generate(&mut Source::fresh(seed)).unwrap().len();
+            assert!((1..=2).contains(&len));
+        }
+    }
+
+    #[test]
+    fn btree_map_collapses_duplicate_keys() {
+        let strategy = btree_map(0u8..3, 0u8..100, 0..10);
+        for seed in 0..50 {
+            let m = strategy.generate(&mut Source::fresh(seed)).unwrap();
+            assert!(m.len() <= 3, "only three distinct keys exist");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The `proptest!` macro family.
+
+/// Define property tests (mirrors `proptest::proptest!`).
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     // Under `#[cfg(test)]` this would carry the usual `#[test]` attribute.
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+///
+/// Each test body runs inside a closure returning
+/// `Result<(), TestCaseError>`, so `prop_assert!`-style macros and early
+/// `return Ok(())` work exactly as under the real proptest. Failures are
+/// shrunk to a minimal counterexample and reported with a reproducing
+/// `QRE_PROPTEST_SEED`; `QRE_PROPTEST_CASES` scales every suite's case
+/// count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand one test fn, recurse on
+/// the rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_proptest(
+                &__config,
+                ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name)),
+                |__source| {
+                    $(
+                        let $arg = match $crate::Strategy::generate(&($strategy), __source) {
+                            ::core::result::Result::Ok(value) => value,
+                            ::core::result::Result::Err(rejection) => {
+                                return ::core::result::Result::Err(
+                                    $crate::TestCaseError::Reject(rejection.0),
+                                );
+                            }
+                        };
+                    )+
+                    let __inputs = ::std::format!(
+                        ::core::concat!($("  ", ::core::stringify!($arg), " = {:?}\n",)+),
+                        $(&$arg,)+
+                    );
+                    let __outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            ::core::result::Result::Err($crate::TestCaseError::Fail(
+                                ::std::format!("{}with inputs:\n{}", message, __inputs),
+                            ))
+                        }
+                        other => other,
+                    }
+                },
+            );
+        }
+        $crate::__proptest_tests!(($config) $($rest)*);
+    };
+}
+
+/// `assert!` for property bodies: fails the case (triggering shrinking)
+/// instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            ::core::concat!("assertion failed: ", ::core::stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            __left,
+            __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            __left
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type
+/// (mirrors `proptest::prop_oneof!`). Smaller draws pick earlier arms, so
+/// counterexamples shrink toward the first alternative.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+}

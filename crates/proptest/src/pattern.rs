@@ -1,0 +1,248 @@
+//! String strategies from regex-like patterns.
+//!
+//! In proptest a string literal *is* a strategy: `"[a-z]{1,6}"` generates
+//! strings matching the pattern. This module implements the subset of that
+//! grammar the workspace's suites use:
+//!
+//! * character classes `[a-z0-9_]` with ranges and literal members,
+//! * the escape `\PC` ("not a control/other character", i.e. printable —
+//!   generated here from a curated set of printable Unicode ranges that
+//!   exercises ASCII, Latin-1, Greek, Cyrillic, CJK, and emoji),
+//! * literal characters,
+//! * repetition `{n}` / `{m,n}` after any of the above (default: once).
+//!
+//! Unsupported syntax panics with a descriptive message — a pattern is test
+//! code, so a typo should fail the test loudly rather than generate
+//! something unintended.
+
+use crate::source::Source;
+use crate::strategy::{NewValue, Strategy};
+
+/// Inclusive Unicode scalar ranges that are printable (not category C),
+/// chosen to cover one- through four-byte UTF-8 encodings.
+const PRINTABLE: &[(u32, u32)] = &[
+    (0x0020, 0x007E),   // ASCII
+    (0x00A1, 0x00FF),   // Latin-1 supplement
+    (0x0100, 0x017F),   // Latin extended-A
+    (0x0391, 0x03A1),   // Greek capitals (Α..Ρ; 0x3A2 is unassigned)
+    (0x03A3, 0x03C9),   // Greek (Σ..ω)
+    (0x0410, 0x044F),   // Cyrillic
+    (0x3041, 0x3096),   // Hiragana
+    (0x4E00, 0x4FFF),   // CJK unified ideographs (subset)
+    (0x1F600, 0x1F64F), // emoticons
+];
+
+/// One repeatable unit of a pattern.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive scalar ranges the atom may produce.
+    choices: Vec<(u32, u32)>,
+    /// Minimum repetitions.
+    min: usize,
+    /// Maximum repetitions (inclusive).
+    max: usize,
+}
+
+/// Parse the supported pattern subset.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => PRINTABLE.to_vec(),
+                    other => panic!(
+                        "string pattern {pattern:?}: unsupported escape \\P{}",
+                        other.map(String::from).unwrap_or_default()
+                    ),
+                },
+                Some(literal) => vec![(literal as u32, literal as u32)],
+                None => panic!("string pattern {pattern:?}: trailing backslash"),
+            },
+            '{' | '}' => panic!("string pattern {pattern:?}: repetition without an atom"),
+            literal => vec![(literal as u32, literal as u32)],
+        };
+        let (min, max) = parse_repetition(&mut chars, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Parse the remainder of a `[...]` class (the `[` is already consumed).
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(u32, u32)> {
+    let mut choices: Vec<(u32, u32)> = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("string pattern {pattern:?}: unterminated class"));
+        if c == ']' {
+            assert!(
+                !choices.is_empty(),
+                "string pattern {pattern:?}: empty class"
+            );
+            return choices;
+        }
+        // A `x-y` range (a trailing `-` is a literal).
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next(); // the '-'
+            match ahead.peek() {
+                Some(&end) if end != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(
+                        c <= end,
+                        "string pattern {pattern:?}: inverted range {c}-{end}"
+                    );
+                    choices.push((c as u32, end as u32));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        choices.push((c as u32, c as u32));
+    }
+}
+
+/// Parse an optional `{n}` / `{m,n}` suffix; default is exactly once.
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => body.push(c),
+            None => panic!("string pattern {pattern:?}: unterminated repetition"),
+        }
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("string pattern {pattern:?}: bad repetition {{{body}}}"))
+    };
+    match body.split_once(',') {
+        Some((min, max)) => {
+            let (min, max) = (parse(min), parse(max));
+            assert!(
+                min <= max,
+                "string pattern {pattern:?}: inverted repetition {{{body}}}"
+            );
+            (min, max)
+        }
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+/// Generate one character from a class's ranges; smaller draws pick earlier
+/// (conventionally simpler) characters.
+fn pick_char(choices: &[(u32, u32)], source: &mut Source) -> char {
+    let total: u64 = choices.iter().map(|(lo, hi)| u64::from(hi - lo) + 1).sum();
+    let mut offset = source.draw() % total;
+    for (lo, hi) in choices {
+        let size = u64::from(hi - lo) + 1;
+        if offset < size {
+            return char::from_u32(lo + offset as u32)
+                .expect("pattern ranges contain only valid scalars");
+        }
+        offset -= size;
+    }
+    unreachable!("offset is bounded by the total class size")
+}
+
+/// String literals are strategies generating matching strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, source: &mut Source) -> NewValue<String> {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let count = atom.min + (source.draw() % span) as usize;
+            for _ in 0..count {
+                out.push(pick_char(&atom.choices, source));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        pattern.generate(&mut Source::fresh(seed)).unwrap()
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for seed in 0..100 {
+            let s = sample("[a-z]{1,6}", seed);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for seed in 0..100 {
+            let s = sample("[ -~]{0,24}", seed);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_unicode_escape() {
+        let mut seen_multibyte = false;
+        for seed in 0..200 {
+            let s = sample("\\PC{0,8}", seed);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            seen_multibyte |= s.len() > s.chars().count();
+        }
+        assert!(seen_multibyte, "the printable set must exercise non-ASCII");
+    }
+
+    #[test]
+    fn literals_ranges_and_exact_counts() {
+        assert_eq!(sample("ab", 3), "ab");
+        let s = sample("[0-1]{4}", 7);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == '0' || c == '1'));
+        // Class with literal members and a trailing '-' literal.
+        for seed in 0..50 {
+            let s = sample("[xy-]", seed);
+            assert!(["x", "y", "-"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_draws_give_minimal_strings() {
+        let mut src = Source::replay(vec![]);
+        assert_eq!("[a-z]{1,6}".generate(&mut src).unwrap(), "a");
+        let mut src = Source::replay(vec![]);
+        assert_eq!("\\PC{0,8}".generate(&mut src).unwrap(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "unterminated class")]
+    fn bad_patterns_fail_loudly() {
+        let _ = sample("[abc", 0);
+    }
+}

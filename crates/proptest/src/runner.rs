@@ -1,0 +1,494 @@
+//! The property-test runner: case loop, panic capture, shrinking, and the
+//! reproduction report.
+//!
+//! Each case runs the test closure against a fresh [`Source`] seeded from
+//! the run seed. On failure the runner *shrinks* the recorded draw sequence
+//! — zeroing suffixes, then minimizing individual draws — replaying each
+//! candidate through the same closure until no smaller failing sequence is
+//! found, and finally panics with the minimal counterexample and the
+//! `QRE_PROPTEST_SEED` value that reproduces the whole run.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::source::{splitmix64, Source};
+use crate::TestCaseError;
+
+/// Environment variable forcing the run seed (printed by every failure
+/// report, so counterexamples reproduce on another machine).
+pub const SEED_ENV: &str = "QRE_PROPTEST_SEED";
+
+/// Environment variable overriding every suite's case count — raise it for
+/// soak runs, lower it for quick local iterations.
+pub const CASES_ENV: &str = "QRE_PROPTEST_CASES";
+
+/// Per-run configuration (mirrors the `proptest::test_runner::ProptestConfig`
+/// fields the suites use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Successful cases required for the test to pass. Overridden globally
+    /// by [`CASES_ENV`].
+    pub cases: u32,
+    /// Upper bound on shrink-candidate executions after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 768,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (the `proptest!` header constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// What one run did — returned by [`run_internal`] so the harness's own
+/// tests can assert on outcomes without panicking.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Cases that passed.
+    pub cases_passed: u32,
+    /// Cases rejected by filters (retried, not counted as passes).
+    pub rejects: u32,
+    /// The failure, if any case failed.
+    pub failure: Option<Failure>,
+}
+
+/// A shrunk counterexample.
+#[derive(Debug)]
+pub struct Failure {
+    /// The minimal failing case's message (assertion text plus the
+    /// generated inputs).
+    pub message: String,
+    /// Number of accepted shrink steps.
+    pub shrinks: u32,
+    /// Number of shrink candidates executed.
+    pub shrink_attempts: u32,
+    /// Draw sequence of the minimal counterexample.
+    pub minimal_draws: Vec<u64>,
+}
+
+thread_local! {
+    /// While `true`, this thread's panics are swallowed by the quiet hook
+    /// (the runner catches and reports them itself; without this, every
+    /// shrink candidate would print a full panic message).
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that delegates to the previous
+/// hook unless the current thread asked for quiet panics.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// RAII guard for the thread-local quiet flag.
+struct QuietGuard;
+
+impl QuietGuard {
+    fn engage() -> Self {
+        install_quiet_hook();
+        QUIET_PANICS.with(|q| q.set(true));
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        QUIET_PANICS.with(|q| q.set(false));
+    }
+}
+
+/// Run the closure, converting a panic into a test-case failure (so plain
+/// `assert!`/`unwrap` failures inside properties shrink like `prop_assert!`
+/// ones).
+fn run_case<F>(test: &F, source: &mut Source) -> Result<(), TestCaseError>
+where
+    F: Fn(&mut Source) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(source))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "test case panicked".to_string()
+            };
+            Err(TestCaseError::Fail(format!("panic: {message}")))
+        }
+    }
+}
+
+/// FNV-1a, to give every test its own draw stream under one run seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+/// The run seed: [`SEED_ENV`] when set (decimal or 0x-hex), otherwise drawn
+/// from the clock.
+fn resolve_seed() -> u64 {
+    if let Ok(text) = std::env::var(SEED_ENV) {
+        let text = text.trim();
+        let parsed = match text.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => text.parse(),
+        };
+        match parsed {
+            Ok(seed) => return seed,
+            Err(_) => eprintln!("proptest: ignoring unparseable {SEED_ENV}={text:?}"),
+        }
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    let mut state = nanos ^ (&nanos as *const u64 as u64);
+    splitmix64(&mut state)
+}
+
+/// The effective case count: [`CASES_ENV`] when set to a positive integer,
+/// the config's value otherwise.
+fn resolve_cases(config: &ProptestConfig) -> u32 {
+    std::env::var(CASES_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(config.cases)
+}
+
+/// Execute a full run with an explicit seed, returning the report instead of
+/// panicking (the testable core of [`run_proptest`]). Runs exactly
+/// `config.cases` cases: the [`CASES_ENV`] override is applied by
+/// [`run_proptest`], not here, so callers that *require* a failure to be
+/// found (like the harness's own tests) stay correct under the override.
+pub fn run_internal<F>(config: &ProptestConfig, name: &str, seed: u64, test: &F) -> RunReport
+where
+    F: Fn(&mut Source) -> Result<(), TestCaseError>,
+{
+    let cases = config.cases;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut state = seed ^ fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let _quiet = QuietGuard::engage();
+    while passed < cases {
+        let case_seed = splitmix64(&mut state);
+        let mut source = Source::fresh(case_seed);
+        match run_case(test, &mut source) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    return RunReport {
+                        cases_passed: passed,
+                        rejects,
+                        failure: Some(Failure {
+                            message: format!(
+                                "{rejects} of {} generated cases were rejected \
+                                 (last reason: {reason}); loosen the strategy's filters",
+                                rejects + passed
+                            ),
+                            shrinks: 0,
+                            shrink_attempts: 0,
+                            minimal_draws: Vec::new(),
+                        }),
+                    };
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                let failure = shrink(config, test, source.into_recorded(), message);
+                return RunReport {
+                    cases_passed: passed,
+                    rejects,
+                    failure: Some(failure),
+                };
+            }
+        }
+    }
+    RunReport {
+        cases_passed: passed,
+        rejects,
+        failure: None,
+    }
+}
+
+/// Minimize a failing draw sequence: zero whole suffixes (collapsing
+/// collections and trailing structure), then minimize draws one position at
+/// a time (zero → halve → decrement), repeating until a fixpoint or the
+/// shrink budget runs out. A candidate is accepted only if the test still
+/// *fails* (rejected or passing candidates are discarded).
+fn shrink<F>(config: &ProptestConfig, test: &F, draws: Vec<u64>, message: String) -> Failure
+where
+    F: Fn(&mut Source) -> Result<(), TestCaseError>,
+{
+    let mut best = draws;
+    let mut best_message = message;
+    let mut shrinks = 0u32;
+    let mut attempts = 0u32;
+
+    let try_candidate = |candidate: Vec<u64>, attempts: &mut u32| -> Option<(Vec<u64>, String)> {
+        *attempts += 1;
+        let mut source = Source::replay(candidate);
+        match run_case(test, &mut source) {
+            Err(TestCaseError::Fail(msg)) => Some((source.into_recorded(), msg)),
+            _ => None,
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: zero ever-smaller suffixes.
+        let mut window = best.len();
+        while window >= 1 && attempts < config.max_shrink_iters {
+            let start = best.len() - window;
+            if best[start..].iter().any(|&d| d != 0) {
+                let candidate = best[..start].to_vec();
+                if let Some((accepted, msg)) = try_candidate(candidate, &mut attempts) {
+                    if accepted.len() < best.len()
+                        || (accepted.len() == best.len() && accepted < best)
+                    {
+                        best = accepted;
+                        best_message = msg;
+                        shrinks += 1;
+                        improved = true;
+                        window = best.len();
+                        continue;
+                    }
+                }
+            }
+            window /= 2;
+        }
+
+        // Pass 2: minimize individual draws, left to right.
+        let mut index = 0;
+        while index < best.len() && attempts < config.max_shrink_iters {
+            let current = best[index];
+            if current == 0 {
+                index += 1;
+                continue;
+            }
+            let mut stepped = false;
+            for smaller in [0, current / 2, current - 1] {
+                if smaller >= current {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[index] = smaller;
+                if let Some((accepted, msg)) = try_candidate(candidate, &mut attempts) {
+                    // Accept only non-growing sequences, so the shrink loop
+                    // cannot oscillate.
+                    if accepted.len() <= best.len()
+                        && accepted.get(index).copied().unwrap_or(0) < current
+                    {
+                        best = accepted;
+                        best_message = msg;
+                        shrinks += 1;
+                        improved = true;
+                        stepped = true;
+                        break;
+                    }
+                }
+                if attempts >= config.max_shrink_iters {
+                    break;
+                }
+            }
+            if !stepped {
+                index += 1;
+            }
+        }
+
+        if !improved || attempts >= config.max_shrink_iters {
+            break;
+        }
+    }
+
+    Failure {
+        message: best_message,
+        shrinks,
+        shrink_attempts: attempts,
+        minimal_draws: best,
+    }
+}
+
+/// Run a property test, panicking with a shrunk counterexample and a
+/// reproduction line on failure. This is what the `proptest!` macro calls.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, test: F)
+where
+    F: Fn(&mut Source) -> Result<(), TestCaseError>,
+{
+    let seed = resolve_seed();
+    let effective = ProptestConfig {
+        cases: resolve_cases(config),
+        ..config.clone()
+    };
+    let report = run_internal(&effective, name, seed, &test);
+    if let Some(failure) = report.failure {
+        panic!(
+            "proptest {name} failed after {} passing case(s)\n\
+             {}\n\
+             minimal counterexample reached in {} shrink step(s) \
+             ({} candidate(s) tried)\n\
+             reproduce with: {SEED_ENV}={seed} cargo test",
+            report.cases_passed, failure.message, failure.shrinks, failure.shrink_attempts,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn run<F>(cases: u32, test: F) -> RunReport
+    where
+        F: Fn(&mut Source) -> Result<(), TestCaseError>,
+    {
+        // Fixed seed and an exact case count: these tests assert on run
+        // *outcomes* (some require a failure to be found), so the CASES_ENV
+        // override must not apply — run_internal runs config.cases exactly.
+        run_internal(
+            &ProptestConfig::with_cases(cases),
+            "harness-test",
+            99,
+            &test,
+        )
+    }
+
+    #[test]
+    fn passing_properties_pass() {
+        let report = run(64, |src| {
+            let v = (0u64..100).generate(src).unwrap();
+            if v < 100 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("impossible"))
+            }
+        });
+        assert!(report.failure.is_none());
+        assert!(report.cases_passed >= 1);
+    }
+
+    #[test]
+    fn failures_shrink_to_the_boundary() {
+        // Property: v < 4000. The minimal counterexample is exactly 4000,
+        // and byte-level shrinking must find it from whatever random draw
+        // first failed.
+        let report = run(256, |src| {
+            let v = (0u64..1_000_000).generate(src).unwrap();
+            if v < 4000 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("v = {v}")))
+            }
+        });
+        let failure = report.failure.expect("property must fail");
+        assert!(failure.message.contains("v = 4000"), "{}", failure.message);
+        assert!(failure.shrinks >= 1);
+    }
+
+    #[test]
+    fn vec_counterexamples_shrink_structurally() {
+        // Property: no vector contains an element ≥ 50. The minimal
+        // counterexample is the one-element vector [50].
+        let strategy = crate::collection::vec(0u64..1_000, 0..20);
+        let report = run(256, move |src| {
+            let v = strategy.generate(src).unwrap();
+            if v.iter().all(|&e| e < 50) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{v:?}")))
+            }
+        });
+        let failure = report.failure.expect("property must fail");
+        assert!(failure.message.contains("[50]"), "{}", failure.message);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_failure() {
+        let test = |src: &mut Source| {
+            let v = (0u64..1_000_000).generate(src).unwrap();
+            if v % 7 != 3 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("v = {v}")))
+            }
+        };
+        let config = ProptestConfig::with_cases(512);
+        let a = run_internal(&config, "replay-test", 1234, &test);
+        let b = run_internal(&config, "replay-test", 1234, &test);
+        let (fa, fb) = (a.failure.expect("fails"), b.failure.expect("fails"));
+        assert_eq!(fa.message, fb.message);
+        assert_eq!(fa.minimal_draws, fb.minimal_draws);
+        assert_eq!(a.cases_passed, b.cases_passed);
+    }
+
+    #[test]
+    fn panics_are_captured_and_shrunk() {
+        let report = run(128, |src| {
+            let v = (0u64..10_000).generate(src).unwrap();
+            assert!(v < 100, "plain assert, v = {v}");
+            Ok(())
+        });
+        let failure = report.failure.expect("assert must trip");
+        assert!(failure.message.contains("panic:"), "{}", failure.message);
+        assert!(failure.message.contains("v = 100"), "{}", failure.message);
+    }
+
+    #[test]
+    fn unsatisfiable_filters_report_rejection() {
+        let strategy = (0u64..10).prop_filter("never", |_| false);
+        let report = run(4, move |src| match strategy.generate(src) {
+            Ok(_) => Ok(()),
+            Err(r) => Err(TestCaseError::Reject(r.0)),
+        });
+        let failure = report.failure.expect("must give up");
+        assert!(failure.message.contains("rejected"), "{}", failure.message);
+        assert!(failure.message.contains("never"), "{}", failure.message);
+    }
+
+    #[test]
+    fn rejections_are_retried_not_failed() {
+        // Filter that rejects roughly half of all cases: the run must still
+        // reach the requested pass count.
+        let strategy = (0u64..100).prop_filter("even only", |v| v % 2 == 0);
+        let report = run(32, move |src| match strategy.generate(src) {
+            Ok(v) => {
+                if v % 2 == 0 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("filter leaked an odd value"))
+                }
+            }
+            Err(r) => Err(TestCaseError::Reject(r.0)),
+        });
+        assert!(report.failure.is_none());
+        assert_eq!(report.cases_passed, 32);
+    }
+}

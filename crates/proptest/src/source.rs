@@ -1,0 +1,115 @@
+//! The raw entropy stream strategies draw from.
+//!
+//! Every strategy consumes `u64` *draws* from a [`Source`]. A fresh source
+//! produces draws from a seeded splitmix64 generator and records them; a
+//! replay source yields a recorded sequence back (padding with zeroes once
+//! exhausted). That split is what makes shrinking *integrated*: the runner
+//! minimizes the recorded draw sequence and replays candidates through the
+//! very same generators, so every shrunk value is by construction a value
+//! the strategy could have produced.
+
+/// Deterministic splitmix64 step — the same generator the workspace's test
+/// suites use in place of an external PRNG crate (offline builds cannot
+/// vendor `rand`).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A recording draw stream: fresh (seeded PRNG) or replayed (a fixed draw
+/// sequence, zero-padded past its end).
+#[derive(Debug)]
+pub struct Source {
+    /// Draws to replay before falling back to `rng` (or zeroes).
+    data: Vec<u64>,
+    /// Next position in `data`.
+    pos: usize,
+    /// PRNG state for fresh generation; `None` replays only.
+    rng: Option<u64>,
+    /// Every draw handed out, in order — the shrinkable witness of the case.
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh stream seeded for one test case.
+    pub fn fresh(seed: u64) -> Self {
+        Source {
+            data: Vec::new(),
+            pos: 0,
+            rng: Some(seed),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Replay a recorded draw sequence; reads past its end yield `0` (the
+    /// minimal draw), so truncating a sequence is itself a shrink.
+    pub fn replay(data: Vec<u64>) -> Self {
+        Source {
+            data,
+            pos: 0,
+            rng: None,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Next draw. Replayed data first, then the PRNG (fresh mode) or `0`
+    /// (replay mode). Every draw is recorded.
+    pub fn draw(&mut self) -> u64 {
+        let value = if self.pos < self.data.len() {
+            self.data[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(state) => splitmix64(state),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.recorded.push(value);
+        value
+    }
+
+    /// The draws handed out so far, with the all-zero tail trimmed (a
+    /// trailing zero is indistinguishable from reading past the end).
+    pub fn into_recorded(self) -> Vec<u64> {
+        let mut recorded = self.recorded;
+        while recorded.last() == Some(&0) {
+            recorded.pop();
+        }
+        recorded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map(|_| Source::fresh(7).draw()).collect();
+        let mut src = Source::fresh(7);
+        let b: Vec<u64> = (0..8).map(|_| src.draw()).collect();
+        assert_ne!(a[0], b[1], "stream advances");
+        let mut src2 = Source::fresh(7);
+        let c: Vec<u64> = (0..8).map(|_| src2.draw()).collect();
+        assert_eq!(b, c, "same seed, same stream");
+    }
+
+    #[test]
+    fn replay_yields_data_then_zeroes() {
+        let mut src = Source::replay(vec![5, 6]);
+        assert_eq!((src.draw(), src.draw(), src.draw()), (5, 6, 0));
+        assert_eq!(src.into_recorded(), vec![5, 6]);
+    }
+
+    #[test]
+    fn recording_round_trips_through_replay() {
+        let mut fresh = Source::fresh(42);
+        let drawn: Vec<u64> = (0..5).map(|_| fresh.draw()).collect();
+        let mut replayed = Source::replay(fresh.into_recorded());
+        let again: Vec<u64> = (0..5).map(|_| replayed.draw()).collect();
+        assert_eq!(drawn, again);
+    }
+}

@@ -1,0 +1,454 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! A strategy maps draws from a [`Source`] to values. Because values are a
+//! pure function of the draw sequence, the runner can shrink a failing case
+//! by minimizing the draws and regenerating — no per-strategy shrinkers
+//! needed, and `prop_map`ped values always stay inside the mapped domain.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::source::Source;
+
+/// Why a strategy could not produce a value (a `prop_filter` whose
+/// predicate kept rejecting). The runner retries fresh cases and discards
+/// shrink candidates that reject.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Result of one generation attempt.
+pub type NewValue<T> = Result<T, Rejection>;
+
+/// A generator of test values, driven by a draw [`Source`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value from the stream.
+    fn generate(&self, source: &mut Source) -> NewValue<Self::Value>;
+
+    /// Transform every generated value through `map`.
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+
+    /// Keep only values satisfying `predicate`; after repeated misses the
+    /// whole case is rejected (and retried by the runner) citing `reason`.
+    fn prop_filter<R, F>(self, reason: R, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason: reason.into(),
+            predicate,
+        }
+    }
+
+    /// Generate recursive structures: `recurse` receives a strategy for the
+    /// nested values and returns the composite strategy. Nesting is bounded
+    /// by `depth`; `desired_size` and `expected_branch_size` are accepted
+    /// for proptest API compatibility (the depth bound plus a leaf-biased
+    /// union keep sizes in check here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strategy = leaf.clone();
+        for _ in 0..depth {
+            let recursive = recurse(strategy).boxed();
+            // The leaf arm comes first so shrinking (draw → 0) collapses
+            // structures toward leaves.
+            strategy = Union::new(vec![(2, leaf.clone()), (3, recursive)]).boxed();
+        }
+        strategy
+    }
+
+    /// Erase the concrete type (cheaply clonable, required by
+    /// [`Strategy::prop_recursive`] and `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], so erased strategies can be stored.
+trait DynStrategy<T> {
+    fn generate_dyn(&self, source: &mut Source) -> NewValue<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, source: &mut Source) -> NewValue<S::Value> {
+        self.generate(source)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, source: &mut Source) -> NewValue<T> {
+        self.0.generate_dyn(source)
+    }
+}
+
+/// Strategy returning a fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _source: &mut Source) -> NewValue<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, source: &mut Source) -> NewValue<T> {
+        Ok((self.map)(self.source.generate(source)?))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    predicate: F,
+}
+
+/// How many local re-draws a filter attempts before rejecting the case.
+const FILTER_RETRIES: usize = 16;
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, source: &mut Source) -> NewValue<S::Value> {
+        for _ in 0..FILTER_RETRIES {
+            let value = self.source.generate(source)?;
+            if (self.predicate)(&value) {
+                return Ok(value);
+            }
+        }
+        Err(Rejection(self.reason.clone()))
+    }
+}
+
+/// Weighted choice between erased strategies of one value type; built by
+/// `prop_oneof!`. Smaller draws select earlier arms, so shrinking walks
+/// toward the first (conventionally simplest) alternative.
+#[derive(Debug, Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().all(|(w, _)| *w > 0),
+            "prop_oneof! weights must be positive"
+        );
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, source: &mut Source) -> NewValue<T> {
+        let mut pick = source.draw() % self.total_weight;
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                return arm.generate(source);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("pick is bounded by the total weight")
+    }
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value from one or more draws.
+    fn arbitrary(source: &mut Source) -> Self;
+}
+
+/// The full-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, source: &mut Source) -> NewValue<T> {
+        Ok(T::arbitrary(source))
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(source: &mut Source) -> bool {
+        source.draw() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(source: &mut Source) -> $t {
+                source.draw() as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Every bit pattern, non-finite values included (a draw of 0 is `0.0`,
+    /// so shrinking walks toward zero).
+    fn arbitrary(source: &mut Source) -> f64 {
+        f64::from_bits(source.draw())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(source: &mut Source) -> f32 {
+        f32::from_bits(source.draw() as u32)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn generate(&self, source: &mut Source) -> NewValue<$t> {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = u128::from(source.draw()) % span;
+                Ok((self.start as i128 + offset as i128) as $t)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn generate(&self, source: &mut Source) -> NewValue<$t> {
+                assert!(
+                    self.start() <= self.end(),
+                    "empty range strategy {}..={}", self.start(), self.end()
+                );
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = u128::from(source.draw()) % span;
+                Ok((*self.start() as i128 + offset as i128) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, source: &mut Source) -> NewValue<f64> {
+        assert!(
+            self.start < self.end,
+            "empty range strategy {}..{}",
+            self.start,
+            self.end
+        );
+        // 53 uniform mantissa bits: fraction ∈ [0, 1), zero draw = start.
+        let fraction = (source.draw() >> 11) as f64 / (1u64 << 53) as f64;
+        Ok(self.start + fraction * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, source: &mut Source) -> NewValue<Self::Value> {
+                Ok(($(self.$idx.generate(source)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample<S: Strategy>(strategy: &S, seed: u64) -> S::Value {
+        strategy
+            .generate(&mut Source::fresh(seed))
+            .expect("no rejection")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        for seed in 0..200 {
+            let v = sample(&(3u64..17), seed);
+            assert!((3..17).contains(&v));
+            let s = sample(&(-5i32..6), seed);
+            assert!((-5..6).contains(&s));
+            let f = sample(&(-2.5f64..2.5), seed);
+            assert!((-2.5..2.5).contains(&f));
+            let i = sample(&(10u8..=12), seed);
+            assert!((10..=12).contains(&i));
+        }
+    }
+
+    #[test]
+    fn zero_draws_give_range_minimums() {
+        let mut src = Source::replay(vec![]);
+        assert_eq!((5u64..100).generate(&mut src).unwrap(), 5);
+        assert_eq!((-9i64..9).generate(&mut src).unwrap(), -9);
+        assert_eq!((1.5f64..9.0).generate(&mut src).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn map_filter_union_compose() {
+        let strategy = crate::prop_oneof![
+            2 => (0u32..10).prop_map(|v| v * 2),
+            1 => Just(99u32),
+        ]
+        .prop_filter("even", |v| v % 2 != 1);
+        for seed in 0..100 {
+            let v = sample(&strategy, seed);
+            assert!(v == 99 || (v < 20 && v % 2 == 0), "{v}");
+        }
+        // Draw 0 selects the first arm with the minimal inner value.
+        let mut src = Source::replay(vec![]);
+        assert_eq!(strategy.generate(&mut src).unwrap(), 0);
+    }
+
+    #[test]
+    fn filter_rejects_after_retries() {
+        let strategy = (0u32..10).prop_filter("impossible", |_| false);
+        let err = strategy.generate(&mut Source::fresh(1)).unwrap_err();
+        assert_eq!(err.0, "impossible");
+    }
+
+    #[test]
+    fn recursive_structures_stay_bounded() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strategy = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        for seed in 0..100 {
+            // Depth 3 with ≤ 3 children per node bounds the size.
+            assert!(size(&sample(&strategy, seed)) <= 1 + 3 + 9 + 27);
+        }
+        // The zero draw is a leaf.
+        let mut src = Source::replay(vec![]);
+        assert!(matches!(
+            strategy.generate(&mut src).unwrap(),
+            Tree::Leaf(0)
+        ));
+    }
+
+    #[test]
+    fn tuples_draw_left_to_right() {
+        let mut src = Source::replay(vec![1, 2, 3]);
+        let (a, b, c) = (0u64..10, 0u64..10, 0u64..10).generate(&mut src).unwrap();
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn any_covers_primitive_types() {
+        let mut src = Source::fresh(5);
+        let _: u64 = any::<u64>().generate(&mut src).unwrap();
+        let _: bool = any::<bool>().generate(&mut src).unwrap();
+        let _: i64 = any::<i64>().generate(&mut src).unwrap();
+        let f = any::<f64>().generate(&mut Source::replay(vec![])).unwrap();
+        assert_eq!(f, 0.0, "zero draw shrinks floats to zero");
+    }
+}

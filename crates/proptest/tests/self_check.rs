@@ -1,0 +1,48 @@
+//! End-to-end check of the failure path: a failing `proptest!` property
+//! must panic with a *shrunk* counterexample, the generated inputs, and a
+//! reproducing `QRE_PROPTEST_SEED` line — the contract CI relies on when a
+//! property trips on some other machine.
+
+use proptest::prelude::*;
+
+proptest! {
+    // Deliberately false property (no `#[test]` attribute: it is driven
+    // manually below so the panic can be inspected). The minimal
+    // counterexample is exactly v = 5.
+    fn never_reaches_five(v in 0u64..1_000_000) {
+        prop_assert!(v < 5, "v = {v}");
+    }
+}
+
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let payload = std::panic::catch_unwind(f).expect_err("property must fail");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload is a string")
+}
+
+#[test]
+fn failing_property_reports_shrunk_counterexample_and_seed() {
+    // This is the only test in this binary that reads the seed env var, and
+    // it does not set it; whatever the environment holds, the report must
+    // carry a seed line and the boundary counterexample.
+    let message = panic_message(never_reaches_five);
+    assert!(
+        message.contains("v = 5"),
+        "counterexample must shrink to the boundary value 5:\n{message}"
+    );
+    assert!(
+        message.contains("with inputs:"),
+        "report must echo the generated inputs:\n{message}"
+    );
+    assert!(
+        message.contains(&format!("{}=", proptest::SEED_ENV)),
+        "report must name a reproducing seed:\n{message}"
+    );
+    assert!(
+        message.contains("shrink step"),
+        "report must describe the shrink run:\n{message}"
+    );
+}

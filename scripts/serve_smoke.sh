@@ -73,6 +73,14 @@ grep -q '"cacheMisses":6' "$workdir/session3.ndjson" \
 grep -q 'ignoring cache snapshot' "$workdir/session3.err" \
   || { cp "$workdir/session3.err" "$out"; fail "corrupt snapshot was not reported"; }
 
+# --- Bounded design store: evictions must surface in stats ------------------
+
+# Capacity 1 under the six-design sweep: five inserts overflow the bound, so
+# the stats record must carry the exact eviction count and a store of one.
+echo "$SWEEP_JOB" | "$QRE" serve --jobs 1 --cache-cap 1 > "$workdir/capped.ndjson"
+grep -q '"cacheMisses":6,"cacheEntries":1,"cacheEvictions":5' "$workdir/capped.ndjson" \
+  || { cp "$workdir/capped.ndjson" "$out"; fail "capped session did not report its evictions"; }
+
 # --- qre merge over sharded sessions ----------------------------------------
 
 SWEEP_BODY='"sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] }'
@@ -99,4 +107,5 @@ grep -q 'do not cover' "$workdir/merge.err" \
   || { cp "$workdir/merge.err" "$out"; fail "incomplete merge did not name the gap"; }
 
 echo "serve_smoke: OK ($records records, 1 error record, warm-cache shard," \
-     "persistent cache across sessions, shard merge == unsharded sweep)"
+     "persistent cache across sessions, capped-store evictions reported," \
+     "shard merge == unsharded sweep)"

@@ -1,0 +1,166 @@
+//! Golden-file regression tests: the full `EstimationResult` JSON for the
+//! paper-claim configurations is checked into `tests/fixtures/` and compared
+//! **byte for byte**. Any numeric drift in any pipeline stage — layout, code
+//! distance, factory search, totals — fails loudly with the first diverging
+//! line, instead of sliding under the claim tests' tolerance ranges.
+//!
+//! To bless intentional changes:
+//!
+//! ```bash
+//! QRE_GOLDEN_REGEN=1 cargo test --test golden
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use std::path::PathBuf;
+
+use qre::arith::{multiplication_counts, MulAlgorithm};
+use qre::estimator::{EstimationJob, EstimationResult, HardwareProfile, QecSchemeKind};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn regen_requested() -> bool {
+    std::env::var("QRE_GOLDEN_REGEN").is_ok_and(|v| !v.trim().is_empty())
+}
+
+/// Compare (or, under `QRE_GOLDEN_REGEN`, rewrite) one golden fixture.
+fn check_golden(name: &str, result: &EstimationResult) {
+    let rendered = result.to_json().to_string_pretty() + "\n";
+    let path = fixture_path(name);
+    if regen_requested() {
+        std::fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("failed to write fixture {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "failed to read fixture {}: {e}\n\
+             (first run? bless it with: QRE_GOLDEN_REGEN=1 cargo test --test golden)",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let divergence = rendered
+            .lines()
+            .zip(expected.lines())
+            .position(|(got, want)| got != want);
+        let (got_line, want_line) = match divergence {
+            Some(i) => (
+                rendered.lines().nth(i).unwrap_or(""),
+                expected.lines().nth(i).unwrap_or(""),
+            ),
+            None => ("<line count differs>", "<line count differs>"),
+        };
+        panic!(
+            "golden mismatch for {name} (first divergence at line {}):\n\
+             expected: {want_line}\n\
+             actual:   {got_line}\n\
+             If this change is intentional, re-bless with:\n\
+             QRE_GOLDEN_REGEN=1 cargo test --test golden",
+            divergence.map_or(0, |i| i + 1),
+        );
+    }
+}
+
+fn estimate(
+    alg: MulAlgorithm,
+    bits: usize,
+    profile: HardwareProfile,
+    qec: QecSchemeKind,
+    budget: f64,
+) -> EstimationResult {
+    EstimationJob::builder()
+        .counts(multiplication_counts(alg, bits))
+        .profile(profile)
+        .qec(qec)
+        .total_error_budget(budget)
+        .build()
+        .unwrap()
+        .estimate()
+        .unwrap()
+}
+
+/// The paper's Section V calibration point: windowed 2048-bit multiplication
+/// on the maj_ns_e4 Majorana profile under the floquet code at 1e-4.
+#[test]
+fn windowed_2048_maj_ns_e4_floquet() {
+    let r = estimate(
+        MulAlgorithm::Windowed,
+        2048,
+        HardwareProfile::qubit_maj_ns_e4(),
+        QecSchemeKind::FloquetCode,
+        1e-4,
+    );
+    check_golden("windowed_2048_maj_ns_e4_floquet.json", &r);
+}
+
+/// The low end of Figure 3's distance staircase (distance 9 at 32 bits).
+#[test]
+fn windowed_32_maj_ns_e4_floquet() {
+    let r = estimate(
+        MulAlgorithm::Windowed,
+        32,
+        HardwareProfile::qubit_maj_ns_e4(),
+        QecSchemeKind::FloquetCode,
+        1e-4,
+    );
+    check_golden("windowed_32_maj_ns_e4_floquet.json", &r);
+}
+
+/// The gate-based pipeline (surface code, distillation over gate timings).
+#[test]
+fn windowed_512_gate_ns_e3_surface() {
+    let r = estimate(
+        MulAlgorithm::Windowed,
+        512,
+        HardwareProfile::qubit_gate_ns_e3(),
+        QecSchemeKind::SurfaceCode,
+        1e-3,
+    );
+    check_golden("windowed_512_gate_ns_e3_surface.json", &r);
+}
+
+/// Karatsuba at the paper's "needs the most physical qubits" comparison
+/// size, covering the third multiplication workload end to end.
+#[test]
+fn karatsuba_256_maj_ns_e4_floquet() {
+    let r = estimate(
+        MulAlgorithm::Karatsuba,
+        256,
+        HardwareProfile::qubit_maj_ns_e4(),
+        QecSchemeKind::FloquetCode,
+        1e-4,
+    );
+    check_golden("karatsuba_256_maj_ns_e4_floquet.json", &r);
+}
+
+/// The fixtures themselves must stay in sync with this test file: every
+/// fixture present is produced by exactly one test above.
+#[test]
+fn fixture_directory_has_no_strays() {
+    if regen_requested() {
+        return; // fixtures are being rewritten concurrently by the others
+    }
+    let dir = fixture_path("");
+    let known = [
+        "windowed_2048_maj_ns_e4_floquet.json",
+        "windowed_32_maj_ns_e4_floquet.json",
+        "windowed_512_gate_ns_e3_surface.json",
+        "karatsuba_256_maj_ns_e4_floquet.json",
+    ];
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("failed to list {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = known.iter().map(ToString::to_string).collect();
+    expected.sort();
+    assert_eq!(
+        found, expected,
+        "tests/fixtures/ and tests/golden.rs drifted"
+    );
+}

@@ -93,6 +93,68 @@ fn merged_shard_files_equal_the_unsharded_session() {
 }
 
 #[test]
+fn merge_of_a_single_unsharded_file_is_pass_through() {
+    // `merge(unsharded) ≡ unsharded`: one file holding a complete session
+    // must come back as exactly its item records, re-sorted into global
+    // index order, with only the stats record dropped.
+    let session = run_serve_to_string(&format!("{{ \"id\": \"s\", {SWEEP_BODY} }}\n"));
+    let path = temp_file("solo", &session);
+
+    let args = vec![path.to_string_lossy().into_owned()];
+    let mut merged: Vec<u8> = Vec::new();
+    let summary = merge_files(&args, &mut merged).unwrap();
+    assert_eq!((summary.files, summary.items), (1, 6));
+    assert_eq!(summary.skipped, 1, "only the stats record is dropped");
+
+    let merged = String::from_utf8(merged).unwrap();
+    let mut got: Vec<&str> = merged.lines().collect();
+    got.sort();
+    let mut want: Vec<&str> = session
+        .lines()
+        .filter(|l| l.contains("\"index\":"))
+        .collect();
+    want.sort();
+    assert_eq!(got, want, "pass-through must not rewrite any record");
+
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn merge_is_idempotent() {
+    // Merging a merge's own output reproduces it byte for byte: the output
+    // is already stats-free and in global index order, so the second join
+    // has nothing to reorder or drop.
+    let mut shard_paths: Vec<PathBuf> = Vec::new();
+    for index in 0..2 {
+        let line = format!(
+            "{{ \"id\": \"s\", \"shard\": {{\"index\": {index}, \"count\": 2}}, {SWEEP_BODY} }}\n"
+        );
+        shard_paths.push(temp_file(
+            &format!("idem{index}"),
+            &run_serve_to_string(&line),
+        ));
+    }
+    let args: Vec<String> = shard_paths
+        .iter()
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    let mut once: Vec<u8> = Vec::new();
+    merge_files(&args, &mut once).unwrap();
+
+    let merged_path = temp_file("idem-merged", std::str::from_utf8(&once).unwrap());
+    let again_args = vec![merged_path.to_string_lossy().into_owned()];
+    let mut twice: Vec<u8> = Vec::new();
+    let summary = merge_files(&again_args, &mut twice).unwrap();
+    assert_eq!(summary.items, 6);
+    assert_eq!(summary.skipped, 0, "a merged file holds item records only");
+    assert_eq!(once, twice, "merge ∘ merge must equal merge");
+
+    for path in shard_paths.into_iter().chain([merged_path]) {
+        std::fs::remove_file(path).unwrap();
+    }
+}
+
+#[test]
 fn merge_rejects_an_incomplete_shard_set() {
     // Shard 1 alone: its global indices start past the missing shard 0, so
     // the validating join names the gap. (A lone *prefix* shard is

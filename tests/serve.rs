@@ -133,6 +133,41 @@ fn session_cache_stays_warm_across_jobs() {
 }
 
 #[test]
+fn tiny_cache_cap_reports_evictions_in_stats() {
+    // A capacity-1 store under a six-design sweep (six default profiles):
+    // each insert beyond the first evicts exactly one design, so the
+    // closing stats record must report five evictions and a single
+    // surviving entry — the eviction counter exercised end to end, not just
+    // at the cache unit level.
+    let options = ServeOptions {
+        max_in_flight: 1,
+        cache_capacity: Some(1),
+        ..ServeOptions::default()
+    };
+    let (summary, lines) = run_serve(&format!("{}\n", SWEEP_LINE.replace('\n', " ")), &options);
+    assert_eq!(summary.job_errors, 0);
+    let stats = lines
+        .iter()
+        .find(|l| l.get("stats").is_some())
+        .expect("stats record");
+    assert_eq!(
+        stats.get_path("stats.cacheMisses").unwrap().as_u64(),
+        Some(6),
+        "six distinct designs searched"
+    );
+    assert_eq!(
+        stats.get_path("stats.cacheEvictions").unwrap().as_u64(),
+        Some(5),
+        "every insert past the capacity evicts exactly once"
+    );
+    assert_eq!(
+        stats.get_path("stats.cacheEntries").unwrap().as_u64(),
+        Some(1),
+        "the bound holds at session end"
+    );
+}
+
+#[test]
 fn sharded_serve_jobs_union_to_the_unsharded_sweep() {
     let sweep_body = r#""sweep": {
         "algorithms": [ { "multiplication": { "algorithm": "windowed", "bits": 64 } } ],
