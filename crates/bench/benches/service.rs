@@ -1,0 +1,179 @@
+//! Sustained throughput and tail latency of `qre serve --listen` under
+//! concurrent client connections.
+//!
+//! The network mode's promise is service-shaped: N independent clients
+//! multiplexing jobs over one warm process-wide design store, bounded by
+//! the global job gate. This harness stands up a real loopback TCP server
+//! (`qre_cli::listen_serve` — the same engine `qre serve --listen` runs),
+//! warms the store with one connection, then drives `CLIENTS` concurrent
+//! connections each submitting a stream of six-profile sweep jobs
+//! back-to-back, timing every job round trip (submit line → closing
+//! `"stats"` record).
+//!
+//! Reported per sample and summarized by medians over samples:
+//!
+//! * `jobs_per_sec` — completed jobs per wall-clock second across all
+//!   clients (sustained service throughput, not single-job speed),
+//! * `p50_job_ns` / `p99_job_ns` — per-job round-trip latency percentiles
+//!   across every job of every client.
+//!
+//! JSON goes to stdout and to `target/experiments/BENCH_service.json`.
+//! `QRE_BENCH_SAMPLES` caps the sample count and `QRE_BENCH_QUICK` shrinks
+//! the per-client job count for CI-style quick runs.
+//!
+//! ```text
+//! cargo bench -p qre-bench --bench service
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use qre_cli::{listen_serve, ServeOptions, ServeShared};
+
+const DEFAULT_SAMPLES: usize = 5;
+/// Concurrent client connections — the acceptance bar for the network mode.
+const CLIENTS: usize = 4;
+/// Jobs each client submits per sample (quick mode trims this).
+const JOBS_PER_CLIENT: usize = 8;
+
+/// One six-profile sweep job line (the Figure 4 shape, serve-protocol
+/// framed). All jobs share one design set, so steady-state traffic is
+/// cache-hit estimation — the workload the service exists to serve.
+fn job_line(id: &str) -> String {
+    format!(
+        "{{ \"id\": \"{id}\", \"sweep\": {{ \
+         \"algorithms\": [ {{ \"logicalCounts\": {{ \
+         \"numQubits\": 2000, \"tCount\": 500000, \"cczCount\": 100000, \
+         \"measurementCount\": 500000 }} }} ], \
+         \"errorBudgets\": [ 1e-4 ] }} }}"
+    )
+}
+
+/// Submit `jobs` sweep jobs back-to-back over one connection, returning the
+/// per-job round-trip times in nanoseconds.
+fn run_client(addr: std::net::SocketAddr, client: usize, jobs: usize) -> Vec<u128> {
+    let stream = TcpStream::connect(addr).expect("connect to serve");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    let mut writer = stream;
+    let mut line = String::new();
+    // Consume the hello.
+    reader.read_line(&mut line).expect("hello");
+
+    let mut latencies = Vec::with_capacity(jobs);
+    for job in 0..jobs {
+        let id = format!("c{client}-j{job}");
+        let start = Instant::now();
+        writeln!(writer, "{}", job_line(&id)).expect("submit job");
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read record");
+            assert!(n > 0, "server closed mid-job");
+            assert!(!line.contains("\"status\":\"error\""), "job failed: {line}");
+            if line.contains("\"stats\":") {
+                break;
+            }
+        }
+        latencies.push(start.elapsed().as_nanos());
+    }
+    // Part cleanly: half-close the submission side (the session sees EOF)
+    // and drain the bye, so the server's logs stay quiet.
+    writer
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("drain session") == 0 {
+            break;
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank]
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let samples = criterion::env_samples(DEFAULT_SAMPLES);
+    let jobs_per_client = if criterion::quick_mode() {
+        2
+    } else {
+        JOBS_PER_CLIENT
+    };
+
+    // One server for the whole run: steady-state service, not server
+    // startup, is what's being measured.
+    let options = ServeOptions {
+        max_in_flight: 2,
+        global_jobs: Some(8),
+        ..ServeOptions::default()
+    };
+    let shared = Arc::new(ServeShared::new(&options));
+    let (tx, rx) = mpsc::channel();
+    let server = std::thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || {
+            listen_serve(&shared, "127.0.0.1:0", 32, move |addr| {
+                let _ = tx.send(addr);
+            })
+            .expect("listen_serve succeeds")
+        }
+    });
+    let addr = rx.recv().expect("server binds");
+
+    // Warm the store once; every measured job then runs the service's
+    // steady state (shared-cache hits).
+    run_client(addr, usize::MAX, 1);
+
+    let mut throughput: Vec<u128> = Vec::with_capacity(samples); // ns per sample
+    let mut all_latencies: Vec<u128> = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        let latencies: Vec<u128> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| scope.spawn(move || run_client(addr, client, jobs_per_client)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        throughput.push(start.elapsed().as_nanos());
+        assert_eq!(latencies.len(), CLIENTS * jobs_per_client);
+        all_latencies.extend(latencies);
+    }
+
+    shared.shutdown_signal().signal();
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.job_errors, 0);
+
+    let jobs_per_sample = (CLIENTS * jobs_per_client) as f64;
+    let sample_ns = median(throughput);
+    let jobs_per_sec = jobs_per_sample / (sample_ns as f64 / 1e9);
+    all_latencies.sort_unstable();
+    let p50 = percentile(&all_latencies, 0.50);
+    let p99 = percentile(&all_latencies, 0.99);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"service_concurrent_clients\",\n  \
+         \"samples\": {samples},\n  \"clients\": {CLIENTS},\n  \
+         \"jobs_per_client\": {jobs_per_client},\n  \"results\": {{\n    \
+         \"sample_ns\": {sample_ns},\n    \
+         \"jobs_per_sec\": {jobs_per_sec:.2},\n    \
+         \"p50_job_ns\": {p50},\n    \
+         \"p99_job_ns\": {p99}\n  }}\n}}"
+    );
+    println!("{json}");
+    match qre_bench::write_artifact("BENCH_service.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

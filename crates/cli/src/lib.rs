@@ -66,10 +66,12 @@
 #![warn(clippy::all)]
 
 mod merge;
+mod net_serve;
 mod serve;
 
 pub use merge::{merge_files, merge_shard_records, MergeSummary};
-pub use serve::{serve, ServeOptions, ServeSummary};
+pub use net_serve::{listen_serve, ListenSummary};
+pub use serve::{run_session, serve, ServeOptions, ServeShared, ServeSummary, SessionConfig};
 
 use std::io::Write;
 

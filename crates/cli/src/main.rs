@@ -8,6 +8,9 @@
 //! qre serve [--jobs N] [--cache-file PATH] [--cache-cap N] [--save-every N]
 //!                           long-running job server: one JSON job per
 //!                           stdin line, NDJSON records to stdout
+//! qre serve --listen ADDR [--max-conns N] [--per-conn K] [...]
+//!                           the same job server over TCP: every connection
+//!                           is its own session over one shared design store
 //! qre merge <shard.ndjson>...
 //!                           join shard output files into one sweep
 //! qre --help                usage
@@ -30,6 +33,7 @@ fn usage() -> &'static str {
      USAGE:\n\
      \x20 qre [--report | --compact] <job.json | ->\n\
      \x20 qre serve [--jobs N] [--cache-file PATH] [--cache-cap N] [--save-every N]\n\
+     \x20 qre serve --listen ADDR [--max-conns N] [--per-conn K] [common flags]\n\
      \x20 qre merge <shard.ndjson>...\n\
      \n\
      The job file is a JSON specification; see the qre-cli crate docs for the\n\
@@ -42,13 +46,29 @@ fn usage() -> &'static str {
      completion-order NDJSON records (every record carries its \"job\" id;\n\
      each job ends with a \"stats\" record). Malformed lines yield error\n\
      records and the session continues.\n\
-     \x20 --jobs N          concurrent jobs (default 2)\n\
+     \x20 --jobs N          concurrent jobs (default 2; with --listen this is\n\
+     \x20                   the process-wide bound across all connections,\n\
+     \x20                   default 8)\n\
      \x20 --cache-file PATH load the factory-design store from PATH at start\n\
      \x20                   and save it (atomically) at session end; corrupt\n\
      \x20                   or version-mismatched files warn and start cold\n\
      \x20 --cache-cap N     bound the store to N designs (LRU eviction)\n\
      \x20 --save-every N    with --cache-file, also save every N completed\n\
      \x20                   jobs (default 25; 0 = only at session end)\n\
+     \n\
+     `qre serve --listen ADDR` serves the same NDJSON protocol over TCP\n\
+     (ADDR like 127.0.0.1:7733; port 0 picks a free port, reported on\n\
+     stderr as `serve: listening on ...`). Every connection is its own\n\
+     session — with {\"hello\"} / {\"bye\"} lifecycle records framing its\n\
+     jobs — over one shared design store, so each client's searches warm\n\
+     the others'. A {\"control\": \"shutdown\"} job line from any client, or\n\
+     the word `shutdown` on the server's stdin, drains the service: accepts\n\
+     stop, in-flight jobs finish, the snapshot is saved once, then exit.\n\
+     \x20 --listen ADDR     serve over TCP instead of stdin/stdout\n\
+     \x20 --max-conns N     concurrent connections (default 32); surplus\n\
+     \x20                   connections get {\"bye\": {.., \"busy\": true}}\n\
+     \x20 --per-conn K      in-flight jobs per connection (default 2);\n\
+     \x20                   further lines wait in the socket buffer\n\
      \n\
      `qre merge` joins the NDJSON output files of sharded sweep sessions:\n\
      item records are re-sorted by their global sweep index and written to\n\
@@ -58,19 +78,53 @@ fn usage() -> &'static str {
 
 fn serve_main(args: &[String]) -> ExitCode {
     let mut options = qre_cli::ServeOptions::default();
+    let mut jobs: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut per_conn: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--jobs" => {
                 let value = iter.next().and_then(|v| v.parse::<usize>().ok());
                 match value {
-                    Some(n) if n >= 1 => options.max_in_flight = n,
+                    Some(n) if n >= 1 => jobs = Some(n),
                     _ => {
                         eprintln!("--jobs requires an integer of at least 1\n\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
             }
+            "--listen" => match iter.next() {
+                Some(addr) if !addr.is_empty() => listen = Some(addr.clone()),
+                _ => {
+                    eprintln!(
+                        "--listen requires an address like 127.0.0.1:7733\n\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-conns" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => max_conns = Some(n),
+                _ => {
+                    eprintln!(
+                        "--max-conns requires an integer of at least 1\n\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--per-conn" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => per_conn = Some(n),
+                _ => {
+                    eprintln!(
+                        "--per-conn requires an integer of at least 1\n\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--cache-file" => match iter.next() {
                 Some(path) if !path.is_empty() => {
                     options.cache_file = Some(std::path::PathBuf::from(path));
@@ -103,6 +157,20 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(addr) = listen {
+        // Network mode: --jobs is the process-wide bound, --per-conn the
+        // per-session admission bound.
+        options.max_in_flight = per_conn.unwrap_or(2);
+        options.global_jobs = Some(jobs.unwrap_or(8));
+        return listen_main(&addr, max_conns.unwrap_or(32), &options);
+    }
+    if max_conns.is_some() || per_conn.is_some() {
+        eprintln!("--max-conns and --per-conn require --listen\n\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if let Some(n) = jobs {
+        options.max_in_flight = n;
+    }
     let stdin = std::io::stdin();
     // `Stdout` (not its `!Send` lock): the serve writer thread owns the
     // handle and locks per line.
@@ -112,6 +180,59 @@ fn serve_main(args: &[String]) -> ExitCode {
             eprintln!(
                 "serve: {} job(s), {} error(s), {} record(s)",
                 summary.jobs, summary.job_errors, summary.records
+            );
+            if options.cache_file.is_some() {
+                eprintln!(
+                    "serve: cache snapshot: {} design(s) loaded, {} saved",
+                    summary.designs_loaded, summary.designs_saved
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `qre serve --listen`: run the TCP service until drained, with an
+/// operator watcher that turns a `shutdown` line on the server's stdin into
+/// a drain. Stdin EOF deliberately does NOT drain — a server launched with
+/// stdin on /dev/null (or under a supervisor) must keep serving.
+fn listen_main(addr: &str, max_conns: usize, options: &qre_cli::ServeOptions) -> ExitCode {
+    use std::io::BufRead as _;
+
+    let shared = qre_cli::ServeShared::new(options);
+    let signal = shared.shutdown_handle();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            match line.trim() {
+                "" => {}
+                "shutdown" => {
+                    signal.signal();
+                    break;
+                }
+                other => eprintln!("serve: unknown command `{other}` (try `shutdown`)"),
+            }
+        }
+        // The watcher may also still be blocked in a stdin read at process
+        // exit; that is fine — it holds nothing the drain waits on.
+    });
+
+    match qre_cli::listen_serve(&shared, addr, max_conns, |bound| {
+        eprintln!("serve: listening on {bound}");
+    }) {
+        Ok(summary) => {
+            eprintln!(
+                "serve: {} connection(s) ({} rejected), {} job(s), {} error(s), {} record(s)",
+                summary.connections,
+                summary.rejected,
+                summary.jobs,
+                summary.job_errors,
+                summary.records
             );
             if options.cache_file.is_some() {
                 eprintln!(

@@ -13,10 +13,13 @@
 //!
 //! Bookkeeping records are dropped, not merged: per-shard `"stats"` records
 //! describe one shard's session (their counters are meaningless for the
-//! union), and `"progress"` records are transport chatter. A job-level
-//! error record (`"status": "error"` without an item `"index"`) means a
-//! shard session failed to run its job, so the merge fails loudly naming
-//! the file and line rather than emitting a silently incomplete sweep.
+//! union), `"progress"` records are transport chatter, and the network
+//! mode's session framing — `"hello"`/`"bye"` lifecycle records and
+//! `"control"` acknowledgements — describes connections, not sweep items,
+//! so a socket session's captured output merges as-is. A job-level error
+//! record (`"status": "error"` without an item `"index"`) means a shard
+//! session failed to run its job, so the merge fails loudly naming the file
+//! and line rather than emitting a silently incomplete sweep.
 
 use std::io::Write;
 
@@ -29,7 +32,8 @@ pub struct MergeSummary {
     pub files: usize,
     /// Item records merged (== lines written).
     pub items: usize,
-    /// Bookkeeping records dropped (`"stats"` and `"progress"`).
+    /// Bookkeeping records dropped (`"stats"`, `"progress"`, lifecycle
+    /// framing, and `"control"` acknowledgements).
     pub skipped: usize,
 }
 
@@ -46,7 +50,12 @@ fn classify(record: Value, place: &str) -> Result<Option<(usize, Value)>, String
     if record.as_object().is_none() {
         return Err(format!("{place}: record is not a JSON object"));
     }
-    if record.get("stats").is_some() || record.get("progress").is_some() {
+    if record.get("stats").is_some()
+        || record.get("progress").is_some()
+        || record.get("hello").is_some()
+        || record.get("bye").is_some()
+        || record.get("control").is_some()
+    {
         return Ok(None);
     }
     match record.get("index").map(Value::as_u64) {
@@ -155,6 +164,9 @@ mod tests {
 
     #[test]
     fn merges_interleaved_shards_in_index_order() {
+        // Shard `a` is a pipe session's capture; shard `b` is a network
+        // session's, complete with lifecycle framing and a control ack —
+        // both merge as-is.
         let a = write_file(
             "a",
             &[
@@ -163,10 +175,19 @@ mod tests {
                 "{\"job\":\"s\",\"stats\":{\"items\":2}}".into(),
             ],
         );
-        let b = write_file("b", &[item(1), item(3)]);
+        let b = write_file(
+            "b",
+            &[
+                "{\"hello\":{\"session\":2,\"protocol\":\"qre-serve/1\"}}".into(),
+                item(1),
+                item(3),
+                "{\"job\":\"q\",\"control\":\"shutdown\",\"status\":\"ok\"}".into(),
+                "{\"bye\":{\"session\":2,\"jobs\":2}}".into(),
+            ],
+        );
         let mut out = Vec::new();
         let summary = merge_files(&[a.clone(), b.clone()], &mut out).unwrap();
-        assert_eq!((summary.files, summary.items, summary.skipped), (2, 4, 1));
+        assert_eq!((summary.files, summary.items, summary.skipped), (2, 4, 4));
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
         assert_eq!(lines.len(), 4);
         for (i, line) in lines.iter().enumerate() {

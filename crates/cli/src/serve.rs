@@ -1,32 +1,44 @@
 //! Job-server mode: a long-running NDJSON estimation service.
 //!
-//! [`serve`] reads **one JSON job per line** from its input and writes
-//! **completion-order NDJSON records** to its output, mirroring the cloud
-//! submission loop of paper Section IV-A as a persistent local service: the
-//! session keeps one process-wide factory-design store alive across jobs, so
-//! a sweep re-run (or a related scenario) hits the warm cache instead of
-//! repeating the distillation-pipeline search.
+//! This module is the **session engine** behind both transports of `qre
+//! serve`: the single-client stdin/stdout pipe ([`serve`]) and the
+//! multi-client TCP listener (`qre serve --listen`, wired through
+//! [`crate::NetSession`] over the `qre-net` crate). Both run the same loop —
+//! [`run_session`] — over one process-wide [`ServeShared`] state, mirroring
+//! the cloud submission loop of paper Section IV-A as a persistent local
+//! service: the shared factory-design store stays alive across jobs *and
+//! across clients*, so a sweep re-run (or a related scenario submitted by a
+//! different connection) hits the warm cache instead of repeating the
+//! distillation-pipeline search.
 //!
 //! ## Input protocol
 //!
 //! Each non-blank line is a JSON object in any of the one-shot CLI's
 //! submission forms (a single job, `{"items": [...]}`, `{"sweep": {...}}`),
-//! plus two serve-level fields:
+//! plus serve-level fields:
 //!
 //! * `"id"` — string or number echoed into every record the job produces
-//!   (default: the job's 1-based arrival ordinal),
+//!   (default: the job's 1-based arrival ordinal within its session),
 //! * `"shard": {"index": i, "count": n}` — restrict a `"sweep"` job to
 //!   shard `i` of `n` of its row-major expansion, so `n` server processes
-//!   fed the same sweep line (with different indices) deterministically
-//!   partition it; records keep their *global* sweep indices, making the
-//!   shard union item-for-item identical to the unsharded sweep.
+//!   (or `n` connections of one server) fed the same sweep line
+//!   deterministically partition it; records keep their *global* sweep
+//!   indices, making the shard union item-for-item identical to the
+//!   unsharded sweep.
+//!
+//! A line may instead be a **control command**: `{"control": "shutdown"}`
+//! (optionally with an `"id"`) acknowledges with `{"job": .., "control":
+//! "shutdown", "status": "ok"}` and starts a graceful drain — no session
+//! reads further jobs, in-flight jobs finish and deliver every record, the
+//! snapshot (if configured) is saved once, and the service exits.
 //!
 //! A top-level `"stream"` flag is accepted and ignored: serve output is
 //! always NDJSON.
 //!
 //! ## Output protocol
 //!
-//! Every record is one JSON object whose first field is `"job"` (the id):
+//! Every job record is one JSON object whose first field is `"job"` (the
+//! id):
 //!
 //! * item records — field-for-field the records `"stream": true` emits in
 //!   the one-shot CLI (single-job result objects, indexed batch items,
@@ -39,36 +51,59 @@
 //!   to parse or validate — the session continues; malformed input never
 //!   kills the server.
 //!
-//! Jobs run concurrently up to [`ServeOptions::max_in_flight`] (each job
-//! already parallelizes internally), so one slow sweep does not starve the
-//! lines behind it; records from concurrent jobs interleave, which is why
-//! every record names its job.
+//! Network sessions ([`SessionConfig::lifecycle`]) additionally frame the
+//! job records with **lifecycle records**: a `{"hello": {...}}` first line
+//! naming the session id, peer address, protocol, and the current design
+//! store size (a warm connect shows a non-zero `designs`), and a
+//! `{"bye": {...}}` last line carrying the session summary (jobs, job
+//! errors, records, whether the session ended in a drain).
+//!
+//! ## Admission control and backpressure
+//!
+//! Concurrency is bounded twice: [`ServeOptions::max_in_flight`] caps the
+//! jobs of *one session* (its reader blocks — leaving further lines unread
+//! in the pipe or socket buffer, the natural backpressure — while that many
+//! jobs are in flight), and [`ServeOptions::global_jobs`] caps jobs across
+//! *every* session of the process, so forty connections cannot fan out
+//! forty heavy sweeps at once. Output is bounded too:
+//! [`ServeOptions::writer_buffer`] caps the records queued ahead of the
+//! session's writer, and the execution layers underneath
+//! ([`qre_par::streamed_buffer_bound`]) cap their own run-ahead, so a slow
+//! or stalled client throttles its jobs instead of ballooning resident
+//! memory with undelivered results — and loses nothing once it resumes
+//! reading.
 //!
 //! ## Cache scoping, bounding, and persistence
 //!
 //! The session's design store is one process-wide
-//! [`qre_core::FactoryCache`]; each job estimates through its own
-//! [`FactoryCache::scoped`] view, so the `"stats"` record's hit/miss
-//! counters are exact per job while every job shares (and extends) the same
-//! designs. Two option groups extend the store beyond one session:
+//! [`qre_core::FactoryCache`] owned by [`ServeShared`]; each job estimates
+//! through its own [`FactoryCache::scoped`] view, so the `"stats"` record's
+//! hit/miss counters are exact per job while every job — of every session —
+//! shares (and extends) the same designs. Two option groups extend the
+//! store beyond one process:
 //!
 //! * **Bounding** — [`ServeOptions::cache_capacity`] (`--cache-cap N`)
 //!   caps the store at `N` designs with least-recently-used eviction, so a
 //!   week-long session holds a fixed memory ceiling; the shared eviction
 //!   count is reported as `"cacheEvictions"` in every stats record.
 //! * **Persistence** — [`ServeOptions::cache_file`] (`--cache-file PATH`)
-//!   loads a snapshot at session start (a missing file is a normal cold
-//!   start; a corrupt or version-mismatched file is reported loudly on
-//!   stderr and the session continues cold) and saves atomically at session
-//!   end — including the dead-output exit, so a downstream consumer hanging
-//!   up never loses the session's designs. With
-//!   [`ServeOptions::save_every`] > 0 (`--save-every N`) the store is also
-//!   saved after every `N` completed jobs, bounding what a crash can lose.
-//!   The snapshot is the versioned JSON document described in the
-//!   [`qre_core::FactoryCache`] docs (`"format": "qre-factory-cache"`,
-//!   `"version"` = [`qre_core::SNAPSHOT_VERSION`]); its floats are stored
-//!   as IEEE-754 bit patterns, so a design loaded in the next session is
-//!   bit-identical to the one this session searched.
+//!   loads a snapshot when the [`ServeShared`] state is built (a missing
+//!   file is a normal cold start; a corrupt or version-mismatched file is
+//!   reported loudly on stderr and the service continues cold) and saves
+//!   atomically **exactly once** at process end ([`ServeShared::final_save`]
+//!   — including the dead-output exit and the graceful drain), so a
+//!   downstream consumer hanging up never loses the session's designs.
+//!   With [`ServeOptions::save_every`] > 0 (`--save-every N`) the store is
+//!   also saved after every `N` completed jobs across all sessions,
+//!   bounding what a crash can lose. The snapshot is the versioned JSON
+//!   document described in the [`qre_core::FactoryCache`] docs (`"format":
+//!   "qre-factory-cache"`, `"version"` = [`qre_core::SNAPSHOT_VERSION`]);
+//!   its floats are stored as IEEE-754 bit patterns, so a design loaded in
+//!   the next session is bit-identical to the one this session searched.
+//!   Concurrent *processes* sharing one snapshot path are last-writer-wins:
+//!   every save writes a unique temporary file and renames it into place,
+//!   so the path always holds one complete, valid snapshot — whichever
+//!   process saved last — never a torn interleaving.
 
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -80,27 +115,39 @@ use qre_json::{ObjectBuilder, Value};
 
 use crate::{sweep_item_json, Submission, SubmissionKind};
 
-/// Knobs of one [`serve`] session.
+/// Knobs of a serve service (pipe or network).
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Maximum number of jobs estimating concurrently; further lines wait
-    /// (the input is still consumed one line at a time, so the bound also
-    /// limits read-ahead). At least 1; `1` runs jobs strictly in arrival
-    /// order.
+    /// Per-session admission bound: at most this many of one client's jobs
+    /// estimate concurrently; further lines stay unread in the input buffer
+    /// (the bound also limits read-ahead). At least 1; `1` runs a session's
+    /// jobs strictly in arrival order.
     pub max_in_flight: usize,
+    /// Process-wide job bound shared by every session (`--jobs N` in
+    /// network mode): jobs admitted by their session still wait here while
+    /// this many jobs are running across all connections. `None` (the
+    /// default, and the pipe mode's setting) uses [`Self::max_in_flight`] —
+    /// with one session the two gates coincide.
+    pub global_jobs: Option<usize>,
+    /// Bound on the records queued between a session's jobs and its writer
+    /// (`--writer-buf N`): a slow client blocks its jobs' record emission
+    /// (and, through the bounded execution layers underneath, the
+    /// estimation run-ahead) instead of buffering unbounded output in
+    /// memory. At least 1.
+    pub writer_buffer: usize,
     /// Bound on the process-wide design store (`--cache-cap N`): at most
     /// this many designs are kept, evicting least-recently-used entries.
     /// `None` (the default) stores every design the session searches.
     pub cache_capacity: Option<usize>,
-    /// Snapshot file for the design store (`--cache-file PATH`): loaded at
-    /// session start (missing file = cold start; corrupt or
+    /// Snapshot file for the design store (`--cache-file PATH`): loaded
+    /// when the service starts (missing file = cold start; corrupt or
     /// version-mismatched file = loud stderr warning, then cold start) and
-    /// saved atomically at session end. `None` (the default) keeps the
-    /// store in memory only.
+    /// saved atomically exactly once at service end. `None` (the default)
+    /// keeps the store in memory only.
     pub cache_file: Option<PathBuf>,
     /// With [`ServeOptions::cache_file`] set, also save the snapshot after
-    /// every this-many completed jobs (`--save-every N`); `0` saves only at
-    /// session end. Ignored without a cache file.
+    /// every this-many completed jobs across all sessions (`--save-every
+    /// N`); `0` saves only at service end. Ignored without a cache file.
     pub save_every: usize,
 }
 
@@ -111,6 +158,11 @@ impl Default for ServeOptions {
             // keep a slow sweep from blocking the queue without multiplying
             // the worker-thread count by the queue length.
             max_in_flight: 2,
+            global_jobs: None,
+            // Roomy enough that a merely bursty consumer never throttles a
+            // job, small enough that a stalled one caps queued output at a
+            // few dozen records.
+            writer_buffer: 64,
             cache_capacity: None,
             cache_file: None,
             // Bound crash loss to a handful of jobs once a cache file is
@@ -121,68 +173,217 @@ impl Default for ServeOptions {
     }
 }
 
-/// What a [`serve`] session did, for logging and exit decisions.
+/// What a serve session did, for logging, lifecycle records, and exit
+/// decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Non-blank input lines consumed (== jobs attempted).
+    /// Non-blank input lines consumed (jobs attempted plus control
+    /// commands).
     pub jobs: usize,
     /// Jobs that produced a job-level error record: an unparseable line, an
-    /// invalid submission, or a bad `shard`. Estimation failures *inside* a
-    /// job (a failing single estimate, a failing batch/sweep item) are
-    /// reported in place and tallied in that job's `"stats"` record, not
-    /// here.
+    /// invalid submission, a bad `shard`, or an unknown control command.
+    /// Estimation failures *inside* a job (a failing single estimate, a
+    /// failing batch/sweep item) are reported in place and tallied in that
+    /// job's `"stats"` record, not here.
     pub job_errors: usize,
-    /// NDJSON records written.
+    /// NDJSON records written (including lifecycle records).
     pub records: usize,
-    /// Designs loaded from [`ServeOptions::cache_file`] at session start
+    /// Designs loaded from [`ServeOptions::cache_file`] at service start
     /// (0 when no file is configured, the file is missing, or it was
-    /// rejected).
+    /// rejected). Per-service, not per-session: [`run_session`] reports 0
+    /// here and the transport front-ends fill it in.
     pub designs_loaded: usize,
-    /// Designs saved to [`ServeOptions::cache_file`] by the session-end
+    /// Designs saved to [`ServeOptions::cache_file`] by the service-end
     /// save (0 when no file is configured or the save failed; failures are
-    /// reported on stderr).
+    /// reported on stderr). Per-service, like `designs_loaded`.
     pub designs_saved: usize,
+    /// Whether the session ended in a graceful drain (a `{"control":
+    /// "shutdown"}` line here or on another session) rather than input EOF.
+    pub drained: bool,
 }
 
-/// Run a job-server session: read one JSON job per line from `input` until
-/// EOF, write completion-order NDJSON records to `output` (line-buffered,
-/// flushed per record), and return a summary.
+/// Process-wide state shared by every serve session: the design store, the
+/// global job gate, the persistence policy, and the drain switch.
 ///
-/// All jobs share one process-wide factory-design store; each job counts its
-/// own cache hits and misses exactly (reported in its `"stats"` record).
-/// The store honours the options' capacity bound and snapshot file (see
-/// [`ServeOptions`]); snapshot problems are stderr warnings, never session
-/// failures. Returns `Err` only for transport failures — an unreadable
-/// input or an output that stops accepting writes; malformed job lines
-/// produce error records and the session continues.
-pub fn serve<R, W>(input: R, output: &mut W, options: &ServeOptions) -> Result<ServeSummary, String>
+/// One `ServeShared` outlives all of its sessions. The pipe mode builds one
+/// for its single session ([`serve`] does this internally); the network
+/// mode builds one and hands every accepted connection's [`run_session`]
+/// the same reference, which is exactly what makes one client's searches
+/// warm every other client's jobs.
+#[derive(Debug)]
+pub struct ServeShared {
+    options: ServeOptions,
+    store: Arc<FactoryCache>,
+    /// Process-wide job gate ([`ServeOptions::global_jobs`]).
+    gate: qre_par::Semaphore,
+    /// Jobs completed across all sessions, driving the periodic snapshot.
+    completed_jobs: AtomicUsize,
+    designs_loaded: usize,
+    shutdown: Arc<qre_par::ShutdownSignal>,
+    final_saved: AtomicBool,
+}
+
+impl ServeShared {
+    /// Build the shared state: create the (optionally bounded) design store
+    /// and load its snapshot. A missing snapshot file is the normal
+    /// first-session cold start; anything else unreadable is rejected
+    /// loudly on stderr but non-fatally.
+    pub fn new(options: &ServeOptions) -> Self {
+        let store = Arc::new(match options.cache_capacity {
+            Some(capacity) => FactoryCache::with_capacity(capacity),
+            None => FactoryCache::new(),
+        });
+        let mut designs_loaded = 0usize;
+        if let Some(path) = &options.cache_file {
+            if path.exists() {
+                match store.load(path) {
+                    Ok(added) => designs_loaded = added,
+                    Err(e) => eprintln!("serve: ignoring cache snapshot: {e}"),
+                }
+            }
+        }
+        let global = options.global_jobs.unwrap_or(options.max_in_flight);
+        ServeShared {
+            options: options.clone(),
+            store,
+            gate: qre_par::Semaphore::new(global),
+            completed_jobs: AtomicUsize::new(0),
+            designs_loaded,
+            shutdown: Arc::new(qre_par::ShutdownSignal::new()),
+            final_saved: AtomicBool::new(false),
+        }
+    }
+
+    /// The options this service was built with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The process-wide design store (every session's jobs estimate through
+    /// [`FactoryCache::scoped`] views of it).
+    pub fn store(&self) -> &Arc<FactoryCache> {
+        &self.store
+    }
+
+    /// The drain switch: signalled by a `{"control": "shutdown"}` line on
+    /// any session, by the network layer's operator input, or by embedders.
+    /// Sessions stop reading new jobs once raised; in-flight jobs finish.
+    pub fn shutdown_signal(&self) -> &qre_par::ShutdownSignal {
+        &self.shutdown
+    }
+
+    /// An owning handle to the drain switch, for watcher threads that must
+    /// outlive any one borrow of the shared state (the network mode's
+    /// operator-stdin watcher signals through one of these).
+    pub fn shutdown_handle(&self) -> Arc<qre_par::ShutdownSignal> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Designs loaded from the snapshot file when this state was built.
+    pub fn designs_loaded(&self) -> usize {
+        self.designs_loaded
+    }
+
+    /// Save the snapshot **exactly once**, whatever ended the service —
+    /// clean EOF, graceful drain, dead output, or a fatal input error: the
+    /// designs the sessions searched are the state worth keeping. Returns
+    /// the number of designs persisted; later calls (a second transport
+    /// exit path racing the first) are no-ops returning 0. Without a
+    /// configured cache file this is always a no-op.
+    pub fn final_save(&self) -> usize {
+        if self.final_saved.swap(true, Ordering::SeqCst) {
+            return 0;
+        }
+        match &self.options.cache_file {
+            Some(path) => save_store(&self.store, path),
+            None => 0,
+        }
+    }
+
+    /// Record one completed job; every [`ServeOptions::save_every`]-th
+    /// completion across all sessions snapshots the store, so a crash loses
+    /// at most one stride of work. Saves are atomic through unique
+    /// temporary files, so concurrent saves (two jobs finishing at once, or
+    /// a periodic save racing the final one) cannot corrupt the snapshot.
+    fn job_completed(&self) {
+        let done = self.completed_jobs.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(path) = &self.options.cache_file {
+            if self.options.save_every > 0 && done.is_multiple_of(self.options.save_every) {
+                save_store(&self.store, path);
+            }
+        }
+    }
+}
+
+/// Identity and framing of one serve session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Session ordinal, echoed in lifecycle records (connection number in
+    /// network mode; 0 for the pipe session).
+    pub session: u64,
+    /// Peer address for lifecycle records (network mode).
+    pub peer: Option<String>,
+    /// Emit `{"hello": ..}` / `{"bye": ..}` lifecycle records framing the
+    /// session. Off for the pipe mode (whose output stays line-compatible
+    /// with earlier releases); on for network sessions.
+    pub lifecycle: bool,
+}
+
+/// Counted hand-off of records to the session's writer thread: the sender
+/// side is bounded ([`ServeOptions::writer_buffer`]), so emitting blocks
+/// while the writer is behind — the per-session output backpressure.
+struct RecordSink {
+    sender: mpsc::SyncSender<Value>,
+    emitted: Arc<AtomicUsize>,
+}
+
+impl RecordSink {
+    /// Queue a record for the writer. `false` once the receiver is gone
+    /// (the writer died): the session is over, and producers stop instead
+    /// of estimating items nobody will read.
+    fn emit(&self, record: Value) -> bool {
+        if self.sender.send(record).is_ok() {
+            self.emitted.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Run one serve session over the shared service state: read one JSON job
+/// per line from `input` until EOF or drain, write completion-order NDJSON
+/// records to `output` (line-buffered, flushed per record), and return the
+/// session's summary.
+///
+/// This is the **one session engine** behind both transports: [`serve`]
+/// runs it over stdin/stdout, the network layer runs it per accepted
+/// connection over the socket's read/write halves. All sessions share
+/// `shared`'s design store (each job counts its own cache hits and misses
+/// exactly through a scoped view), its global job gate, and its drain
+/// switch; admission, output bounding, and persistence follow
+/// [`ServeOptions`]. Returns `Err` only for transport failures — an
+/// unreadable input or an output that stops accepting writes; malformed job
+/// lines produce error records and the session continues.
+pub fn run_session<R, W>(
+    shared: &ServeShared,
+    config: &SessionConfig,
+    input: R,
+    output: &mut W,
+) -> Result<ServeSummary, String>
 where
     R: BufRead,
     W: Write + Send,
 {
-    let store = Arc::new(match options.cache_capacity {
-        Some(capacity) => FactoryCache::with_capacity(capacity),
-        None => FactoryCache::new(),
-    });
-    let mut designs_loaded = 0usize;
-    if let Some(path) = &options.cache_file {
-        // A missing file is the normal first-session cold start; anything
-        // else unreadable is rejected loudly but non-fatally.
-        if path.exists() {
-            match store.load(path) {
-                Ok(added) => designs_loaded = added,
-                Err(e) => eprintln!("serve: ignoring cache snapshot: {e}"),
-            }
-        }
-    }
-    let completed_jobs = AtomicUsize::new(0);
-    let gate = qre_par::Semaphore::new(options.max_in_flight);
-    let (sender, receiver) = mpsc::channel::<Value>();
+    let options = shared.options();
+    let admission = qre_par::Semaphore::new(options.max_in_flight);
+    let (sender, receiver) = mpsc::sync_channel::<Value>(options.writer_buffer.max(1));
+    let emitted = Arc::new(AtomicUsize::new(0));
     let job_errors = AtomicUsize::new(0);
     // Set by the writer thread when the output dies (e.g. a downstream
-    // `head` closed the pipe): the session has no one left to deliver to,
-    // so the reader stops consuming lines and running jobs bail out instead
-    // of estimating into the void until stdin EOF.
+    // `head` closed the pipe, or the client hung up): the session has no one
+    // left to deliver to, so the reader stops consuming lines and running
+    // jobs bail out instead of estimating into the void.
     let output_dead = AtomicBool::new(false);
 
     let mut jobs = 0usize;
@@ -205,70 +406,104 @@ where
             }
         });
 
-        for line in input.lines() {
-            if output_dead.load(Ordering::Relaxed) {
-                break;
-            }
-            let line = match line {
-                Ok(line) => line,
-                Err(e) => {
-                    fatal = Some(format!("failed to read serve input: {e}"));
-                    break;
-                }
-            };
-            if line.trim().is_empty() {
-                continue;
-            }
-            jobs += 1;
-            let ordinal = jobs;
-            // Backpressure: block here (not reading further lines) while
-            // `max_in_flight` jobs are running.
-            let permit = gate.acquire();
-            let sender = sender.clone();
-            let store = Arc::clone(&store);
-            let job_errors = &job_errors;
-            let output_dead = &output_dead;
-            let completed_jobs = &completed_jobs;
-            let cache_file = options.cache_file.as_deref();
-            let save_every = options.save_every;
-            scope.spawn(move || {
-                let _permit = permit;
-                if output_dead.load(Ordering::Relaxed) {
-                    return;
-                }
-                if !run_serve_job(&line, ordinal, &store, &sender) {
-                    job_errors.fetch_add(1, Ordering::Relaxed);
-                }
-                // Periodic persistence: every `save_every` completed jobs,
-                // snapshot the store so a crash loses at most one stride of
-                // work. Saves are atomic and use unique temporary files, so
-                // a concurrent save (another job finishing, or the final
-                // save racing a slow one) cannot corrupt the snapshot.
-                let done = completed_jobs.fetch_add(1, Ordering::Relaxed) + 1;
-                if let Some(path) = cache_file {
-                    if save_every > 0 && done.is_multiple_of(save_every) {
-                        save_store(&store, path);
-                    }
-                }
-            });
+        let sink = RecordSink {
+            sender: sender.clone(),
+            emitted: Arc::clone(&emitted),
+        };
+        if config.lifecycle {
+            sink.emit(hello_record(config, shared));
         }
 
-        // Hang up our sender; the writer drains until the last job thread
-        // drops its clone, then reports how much it wrote.
+        // Inner scope: every job thread joins here, so the bye record below
+        // is provably the session's last record.
+        std::thread::scope(|jobs_scope| {
+            let mut lines = input.lines();
+            loop {
+                // Checked *before* reading, never after: a line this session
+                // has consumed is always processed — a drain stops the
+                // session from taking new lines, it never discards one.
+                if output_dead.load(Ordering::Relaxed) || shared.shutdown.is_signalled() {
+                    break;
+                }
+                let line = match lines.next() {
+                    None => break,
+                    Some(Ok(line)) => line,
+                    Some(Err(e)) => {
+                        fatal = Some(format!("failed to read serve input: {e}"));
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                jobs += 1;
+                let ordinal = jobs;
+                // Control commands are handled inline on the reader — a
+                // drain must take effect before later queued lines, not race
+                // them. The substring test is only a fast-path filter; the
+                // parsed document decides.
+                if line.contains("\"control\"") {
+                    if let Ok(doc) = qre_json::parse(&line) {
+                        if doc.get("control").is_some() {
+                            if !run_control(&doc, ordinal, shared, &sink) {
+                                job_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            continue;
+                        }
+                    } else {
+                        // Fall through: the job path re-parses and reports
+                        // the malformed line as a job error record.
+                    }
+                }
+                // Per-session admission: block here (not reading further
+                // lines — they wait in the pipe or socket buffer) while
+                // `max_in_flight` of this session's jobs are running.
+                let permit = admission.acquire();
+                let job_sink = RecordSink {
+                    sender: sender.clone(),
+                    emitted: Arc::clone(&emitted),
+                };
+                let job_errors = &job_errors;
+                let output_dead = &output_dead;
+                jobs_scope.spawn(move || {
+                    let _permit = permit;
+                    if output_dead.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Process-wide gate: this session admitted the job, but
+                    // it still waits its turn against every other session's
+                    // in-flight jobs.
+                    let _global = shared.gate.acquire();
+                    if output_dead.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if !run_serve_job(&line, ordinal, shared.store(), &job_sink) {
+                        job_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shared.job_completed();
+                });
+            }
+        });
+
+        if config.lifecycle && !output_dead.load(Ordering::Relaxed) {
+            sink.emit(bye_record(
+                config,
+                shared,
+                jobs,
+                job_errors.load(Ordering::Relaxed),
+                emitted.load(Ordering::Relaxed),
+            ));
+        }
+
+        // Hang up our senders; the writer drains the queue, then reports how
+        // much it wrote.
+        drop(sink);
         drop(sender);
         match writer.join() {
             Ok(result) => result,
             Err(payload) => std::panic::resume_unwind(payload),
         }
     });
-
-    // Final save on every exit path — clean EOF, dead output, and fatal
-    // input errors alike: the designs this session searched are the state
-    // worth keeping, whatever ended the session.
-    let mut designs_saved = 0usize;
-    if let Some(path) = &options.cache_file {
-        designs_saved = save_store(&store, path);
-    }
 
     if let Some(message) = fatal {
         return Err(message);
@@ -277,9 +512,30 @@ where
         jobs,
         job_errors: job_errors.load(Ordering::Relaxed),
         records: written?,
-        designs_loaded,
-        designs_saved,
+        designs_loaded: 0,
+        designs_saved: 0,
+        drained: shared.shutdown.is_signalled(),
     })
+}
+
+/// Run a single-session pipe service: one [`ServeShared`] for one
+/// [`run_session`] over `input`/`output`, with the final snapshot saved on
+/// every exit path. This is the `qre serve` stdin/stdout mode; summaries
+/// fold in the snapshot load/save counts.
+pub fn serve<R, W>(input: R, output: &mut W, options: &ServeOptions) -> Result<ServeSummary, String>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let shared = ServeShared::new(options);
+    let result = run_session(&shared, &SessionConfig::default(), input, output);
+    // Final save on every exit path — clean EOF, drain, dead output, and
+    // fatal input errors alike.
+    let designs_saved = shared.final_save();
+    let mut summary = result?;
+    summary.designs_loaded = shared.designs_loaded();
+    summary.designs_saved = designs_saved;
+    Ok(summary)
 }
 
 /// Snapshot the design store, reporting failures on stderr (persistence
@@ -320,6 +576,87 @@ fn error_record(id: &Value, message: String) -> Value {
             .field("message", message)
             .build(),
     )
+}
+
+/// The session-opening lifecycle record: identity plus the store size, so a
+/// client can see at connect time whether it joined a warm service.
+fn hello_record(config: &SessionConfig, shared: &ServeShared) -> Value {
+    let mut hello = ObjectBuilder::new()
+        .field("session", config.session)
+        .field("protocol", "qre-serve/1");
+    if let Some(peer) = &config.peer {
+        hello = hello.field("peer", peer.as_str());
+    }
+    hello = hello.field("designs", shared.store().stats().entries as u64);
+    ObjectBuilder::new().field("hello", hello.build()).build()
+}
+
+/// The session-closing lifecycle record: the session summary, written after
+/// every job record (the job threads are joined first).
+fn bye_record(
+    config: &SessionConfig,
+    shared: &ServeShared,
+    jobs: usize,
+    job_errors: usize,
+    records: usize,
+) -> Value {
+    let bye = ObjectBuilder::new()
+        .field("session", config.session)
+        .field("jobs", jobs as u64)
+        .field("jobErrors", job_errors as u64)
+        // Job records queued before this bye (the hello included).
+        .field("records", records as u64)
+        .field("drained", shared.shutdown.is_signalled());
+    ObjectBuilder::new().field("bye", bye.build()).build()
+}
+
+/// Handle a `{"control": ...}` line inline on the session reader. Returns
+/// `false` when the command was invalid (a job-level error record was
+/// emitted).
+fn run_control(doc: &Value, ordinal: usize, shared: &ServeShared, sink: &RecordSink) -> bool {
+    let mut id = Value::from(ordinal as u64);
+    if let Some(v) = doc.get("id") {
+        match v {
+            Value::Str(_) | Value::Num(_) => id = v.clone(),
+            _ => {
+                sink.emit(error_record(
+                    &id,
+                    "invalid job: serve `id` must be a string or a number".into(),
+                ));
+                return false;
+            }
+        }
+    }
+    if let Err(e) = crate::check_fields(doc, "", &["id", "control"]) {
+        sink.emit(error_record(&id, format!("invalid job: {e}")));
+        return false;
+    }
+    match doc.get("control").and_then(Value::as_str) {
+        Some("shutdown") => {
+            // Acknowledge first, then raise the drain switch: the ack is
+            // this session's receipt that no later job will be read.
+            sink.emit(job_record(
+                &id,
+                ObjectBuilder::new()
+                    .field("control", "shutdown")
+                    .field("status", "ok")
+                    .build(),
+            ));
+            shared.shutdown_signal().signal();
+            true
+        }
+        other => {
+            let got = match other {
+                Some(name) => format!("`{name}`"),
+                None => "a non-string value".into(),
+            };
+            sink.emit(error_record(
+                &id,
+                format!("invalid job: unknown control command {got}; accepted: shutdown"),
+            ));
+            false
+        }
+    }
 }
 
 /// Serve-level fields stripped from a line before submission parsing.
@@ -380,18 +717,10 @@ fn parse_shard(v: &Value) -> Result<Shard, String> {
     Shard::new(field("index")?, field("count")?).map_err(|e| e.to_string())
 }
 
-/// Parse and execute one job line, pushing records to `sender`. Returns
+/// Parse and execute one job line, pushing records to `sink`. Returns
 /// `false` when the job produced a job-level error record.
-fn run_serve_job(
-    line: &str,
-    ordinal: usize,
-    store: &Arc<FactoryCache>,
-    sender: &mpsc::Sender<Value>,
-) -> bool {
-    // `false` once the receiver is gone (the writer died): the session is
-    // over, and batch/sweep execution stops instead of estimating items
-    // nobody will read.
-    let mut emit = |record: Value| sender.send(record).is_ok();
+fn run_serve_job(line: &str, ordinal: usize, store: &Arc<FactoryCache>, sink: &RecordSink) -> bool {
+    let mut emit = |record: Value| sink.emit(record);
     let doc = match qre_json::parse(line) {
         Ok(doc) => doc,
         Err(e) => {

@@ -334,11 +334,18 @@ impl<O: Send + 'static> OutcomeStream<O> {
     /// nested-parallelism guard of the calling thread is replayed on the
     /// background thread, so a stream opened from inside a parallel worker
     /// still degrades to sequential execution.
+    ///
+    /// The channel is bounded (at [`qre_par::streamed_buffer_bound`] for the
+    /// run's worker count): a consumer that stops pulling — a serve session
+    /// writing to a slow client — blocks the background execution instead
+    /// of letting it buffer the whole batch's outcomes in memory.
     fn spawn<W>(total: usize, work: W) -> Self
     where
-        W: FnOnce(mpsc::Sender<O>) + Send + 'static,
+        W: FnOnce(mpsc::SyncSender<O>) + Send + 'static,
     {
-        let (sender, receiver) = mpsc::channel();
+        let (sender, receiver) = mpsc::sync_channel(qre_par::streamed_buffer_bound(
+            qre_par::max_threads().min(total.max(1)),
+        ));
         let in_worker = qre_par::in_parallel_worker();
         let worker = std::thread::spawn(move || {
             qre_par::set_in_parallel_worker(in_worker);

@@ -29,6 +29,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Upper bound on worker threads, overridable through the `QRE_THREADS`
 /// environment variable (useful for benchmarking scalability).
@@ -125,11 +126,31 @@ where
     });
 }
 
+/// Bound on results queued between the parallel workers and the consuming
+/// `on_item` callback of [`parallel_map_streamed_until`] (and of helpers
+/// built on it, like a background-thread outcome stream), for a run using
+/// `threads` workers.
+///
+/// The delivery channel is *bounded*: when the consumer falls behind — a
+/// streamed sweep writing to a slow client, say — workers block on delivery
+/// instead of racing ahead and buffering the whole input's results in
+/// memory. The bound is a small multiple of the worker count (at least a
+/// handful), so a bursty consumer never stalls workers in steady state
+/// while a stalled one caps resident results at this many plus the
+/// in-flight items.
+pub fn streamed_buffer_bound(threads: usize) -> usize {
+    (threads * 2).max(8)
+}
+
 /// Like [`parallel_map_streamed`], but `on_item` can stop the run early by
 /// returning [`ControlFlow::Break`](std::ops::ControlFlow::Break): no
 /// further items are claimed, in-flight items finish undelivered, and the
 /// call returns once the workers have drained. This is the single execution
 /// core behind every map in this crate.
+///
+/// Delivery is backpressured: at most [`streamed_buffer_bound`] results are
+/// queued ahead of `on_item`, so a slow consumer throttles the workers
+/// instead of ballooning memory with undelivered results.
 pub fn parallel_map_streamed_until<T, R, F, G>(items: &[T], f: F, mut on_item: G)
 where
     T: Sync,
@@ -150,7 +171,7 @@ where
 
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let (sender, receiver) = mpsc::channel::<(usize, R)>();
+        let (sender, receiver) = mpsc::sync_channel::<(usize, R)>(streamed_buffer_bound(threads));
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let sender = sender.clone();
@@ -173,15 +194,19 @@ where
         // normally (all items done) or by unwinding (a panic in `f`) — or
         // when `on_item` breaks.
         drop(sender);
-        for (i, r) in receiver {
+        for (i, r) in &receiver {
             if on_item(i, r).is_break() {
                 // Stop the claim loop (no new items) and hang up the
-                // channel (workers' next send fails), so the joins below
-                // only wait out the in-flight items.
+                // channel (workers' next send fails — including senders
+                // blocked on the bounded channel), so the joins below only
+                // wait out the in-flight items.
                 cursor.store(n, Ordering::Relaxed);
                 break;
             }
         }
+        // Hang up before joining: a worker blocked on the bounded channel
+        // can only wake once the receiver is gone.
+        drop(receiver);
         for handle in handles {
             // A panic inside a worker surfaces here as Err; re-raise it so the
             // caller sees the original panic payload (fail-fast semantics).
@@ -245,6 +270,19 @@ impl Semaphore {
         SemaphorePermit { semaphore: self }
     }
 
+    /// Take a permit without blocking: `None` when every permit is
+    /// outstanding. The admission-control shape — an accept gate that turns
+    /// surplus connections away (instead of queueing them invisibly) wants
+    /// an immediate yes/no, not a wait.
+    pub fn try_acquire(&self) -> Option<SemaphorePermit<'_>> {
+        let mut available = self.available.lock().expect("semaphore lock");
+        if *available == 0 {
+            return None;
+        }
+        *available -= 1;
+        Some(SemaphorePermit { semaphore: self })
+    }
+
     /// Number of permits currently free (advisory: may change immediately).
     pub fn available(&self) -> usize {
         *self.available.lock().expect("semaphore lock")
@@ -256,6 +294,81 @@ impl Drop for SemaphorePermit<'_> {
         let mut available = self.semaphore.available.lock().expect("semaphore lock");
         *available += 1;
         self.semaphore.released.notify_one();
+    }
+}
+
+/// A one-way, broadcast shutdown flag: once signalled it stays signalled,
+/// and every waiter wakes.
+///
+/// This is the drain switch of a long-running service: an accept loop polls
+/// [`ShutdownSignal::is_signalled`] between accepts (or parks in
+/// [`ShutdownSignal::wait_timeout`] instead of busy-sleeping), worker
+/// sessions check it between jobs, and whoever decides the session is over
+/// — a control command, a signal handler, an operator pipe — calls
+/// [`ShutdownSignal::signal`] exactly once from anywhere. There is no
+/// un-signal: graceful drain is monotonic by design, so a racing second
+/// trigger is harmless.
+///
+/// ```
+/// let signal = qre_par::ShutdownSignal::new();
+/// assert!(!signal.is_signalled());
+/// signal.signal();
+/// assert!(signal.is_signalled());
+/// signal.wait(); // returns immediately once signalled
+/// ```
+#[derive(Debug, Default)]
+pub struct ShutdownSignal {
+    signalled: Mutex<bool>,
+    changed: Condvar,
+}
+
+impl ShutdownSignal {
+    /// A fresh, un-signalled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag and wake every waiter. Idempotent.
+    pub fn signal(&self) {
+        let mut signalled = self.signalled.lock().expect("shutdown signal lock");
+        *signalled = true;
+        self.changed.notify_all();
+    }
+
+    /// `true` once [`ShutdownSignal::signal`] has been called.
+    pub fn is_signalled(&self) -> bool {
+        *self.signalled.lock().expect("shutdown signal lock")
+    }
+
+    /// Block until the flag is raised.
+    pub fn wait(&self) {
+        let mut signalled = self.signalled.lock().expect("shutdown signal lock");
+        while !*signalled {
+            signalled = self.changed.wait(signalled).expect("shutdown signal lock");
+        }
+    }
+
+    /// Block until the flag is raised or `timeout` elapses; returns whether
+    /// the flag is raised. The accept-loop idiom: poll a non-blocking
+    /// listener, then park here instead of spinning.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut signalled = self.signalled.lock().expect("shutdown signal lock");
+        let deadline = std::time::Instant::now() + timeout;
+        while !*signalled {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _) = self
+                .changed
+                .wait_timeout(signalled, remaining)
+                .expect("shutdown signal lock");
+            signalled = guard;
+        }
+        true
     }
 }
 
@@ -518,6 +631,81 @@ mod tests {
         assert_eq!(sem.available(), 1);
         let _p = sem.acquire();
         assert_eq!(sem.available(), 0);
+    }
+
+    #[test]
+    fn try_acquire_fails_only_when_exhausted() {
+        let sem = Semaphore::new(2);
+        let a = sem.try_acquire().expect("first permit");
+        let b = sem.try_acquire().expect("second permit");
+        assert!(sem.try_acquire().is_none(), "gate full");
+        drop(a);
+        let c = sem.try_acquire().expect("permit returned");
+        drop(b);
+        drop(c);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn shutdown_signal_wakes_waiters_and_stays_signalled() {
+        let signal = ShutdownSignal::new();
+        assert!(!signal.is_signalled());
+        assert!(
+            !signal.wait_timeout(Duration::from_millis(5)),
+            "timeout without a signal reports un-signalled"
+        );
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| signal.wait());
+            let timed = scope.spawn(|| signal.wait_timeout(Duration::from_secs(60)));
+            std::thread::sleep(Duration::from_millis(10));
+            signal.signal();
+            waiter.join().unwrap();
+            assert!(timed.join().unwrap());
+        });
+        // Monotonic: still signalled, and re-signalling is harmless.
+        assert!(signal.is_signalled());
+        signal.signal();
+        assert!(signal.wait_timeout(Duration::ZERO));
+    }
+
+    #[test]
+    fn streamed_delivery_is_bounded_under_a_stalled_consumer() {
+        // A consumer that stalls on its first delivery: workers must block
+        // on the bounded channel instead of racing through the whole input
+        // and buffering every result. Run-ahead is capped at the channel
+        // bound plus one queued result per worker (each may be blocked in
+        // `send`) plus the one being computed per worker.
+        let n = 4096;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let produced = AtomicUsize::new(0);
+        let mut first = true;
+        let mut delivered = 0usize;
+        let threads = max_threads().min(n);
+        let mut stalled_high_water = 0usize;
+        parallel_map_streamed(
+            &items,
+            |_, &x| {
+                produced.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+            |_, _| {
+                if first {
+                    first = false;
+                    std::thread::sleep(Duration::from_millis(100));
+                    stalled_high_water = produced.load(Ordering::Relaxed);
+                }
+                delivered += 1;
+            },
+        );
+        assert_eq!(delivered, n, "backpressure must not lose deliveries");
+        if threads > 1 {
+            let cap = streamed_buffer_bound(threads) + 2 * threads + 1;
+            assert!(
+                stalled_high_water <= cap,
+                "workers ran {stalled_high_water} items ahead of a stalled \
+                 consumer (bound {cap})"
+            );
+        }
     }
 
     #[test]

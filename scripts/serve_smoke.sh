@@ -7,8 +7,11 @@
 # run entirely from the first's snapshot, and a corrupted snapshot must warn
 # and start cold, never crash), and `qre merge` over two sharded sessions'
 # outputs (the merge must byte-equal the unsharded session's item records
-# after re-sorting). Run from the workspace root; CI runs it after
-# `cargo build --release`.
+# after re-sorting). Finally the network transport: launch `--listen
+# 127.0.0.1:0`, submit the same script over a raw TCP socket (bash
+# /dev/tcp), drain with the `{"control": "shutdown"}` verb, and assert the
+# job records are byte-compatible with the pipe session's. Run from the
+# workspace root; CI runs it after `cargo build --release`.
 set -euo pipefail
 
 QRE=${QRE:-target/release/qre}
@@ -106,6 +109,66 @@ fi
 grep -q 'do not cover' "$workdir/merge.err" \
   || { cp "$workdir/merge.err" "$out"; fail "incomplete merge did not name the gap"; }
 
+# --- Socket round-trip: qre serve --listen ----------------------------------
+
+# The same four-line script as the pipe session above, over TCP. Port 0
+# picks a free port, reported on stderr; stdin is /dev/null, which must NOT
+# drain the server (only the shutdown verb below does). --per-conn 1
+# mirrors the pipe session's --jobs 1, so the records are comparable.
+netcache="$workdir/netcache.json"
+"$QRE" serve --listen 127.0.0.1:0 --max-conns 4 --per-conn 1 \
+  --cache-file "$netcache" < /dev/null 2> "$workdir/net.err" &
+server_pid=$!
+addr=''
+for _ in $(seq 1 100); do
+  addr=$(grep -o 'listening on [0-9.:]*' "$workdir/net.err" | head -n1 | awk '{print $3}' || true)
+  if [ -n "$addr" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  kill "$server_pid" 2> /dev/null || true
+  cp "$workdir/net.err" "$out"
+  fail "--listen server never reported its bound address"
+fi
+port=${addr##*:}
+
+exec 3<> "/dev/tcp/127.0.0.1/$port" || fail "cannot connect to $addr"
+printf '%s\n' \
+  '{ "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }' \
+  '{ "id": "sweep", "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }' \
+  '{ "id": "shard-1", "shard": {"index": 1, "count": 2}, "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4 ] } }' \
+  'this line is deliberately not JSON' \
+  '{ "id": "stop", "control": "shutdown" }' >&3
+timeout 30 cat <&3 > "$workdir/net.ndjson" \
+  || { cp "$workdir/net.err" "$out"; fail "socket session did not drain and close"; }
+exec 3<&- 3>&-
+wait "$server_pid" || { cp "$workdir/net.err" "$out"; fail "--listen server exited non-zero"; }
+
+# Session framing: a hello first, a drained bye last, 14 job records plus
+# the shutdown ack in between.
+net_records=$(wc -l < "$workdir/net.ndjson")
+[ "$net_records" -eq 17 ] \
+  || { cp "$workdir/net.ndjson" "$out"; fail "expected 17 socket records, got $net_records"; }
+head -n1 "$workdir/net.ndjson" | grep -q '"hello":{"session":1,' \
+  || { cp "$workdir/net.ndjson" "$out"; fail "socket session did not open with a hello"; }
+tail -n1 "$workdir/net.ndjson" | grep -q '"bye":{"session":1,.*"drained":true' \
+  || { cp "$workdir/net.ndjson" "$out"; fail "socket session did not close with a drained bye"; }
+
+# Byte-compatibility: minus the lifecycle framing and the control ack, the
+# socket session's records are exactly the pipe session's.
+if ! diff <(grep -v -e '"hello":' -e '"bye":' -e '"control":' "$workdir/net.ndjson" | sort) \
+          <(sort "$out") > /dev/null; then
+  cp "$workdir/net.ndjson" "$out"
+  fail "socket records diverge from pipe mode"
+fi
+
+# Graceful drain saved the snapshot (the sweep's six designs plus the
+# single estimate's default-budget design).
+[ -f "$netcache" ] || fail "drain did not save the --cache-file snapshot"
+grep -q '0 design(s) loaded, 7 saved' "$workdir/net.err" \
+  || { cp "$workdir/net.err" "$out"; fail "server did not report the drain-time snapshot save"; }
+
 echo "serve_smoke: OK ($records records, 1 error record, warm-cache shard," \
      "persistent cache across sessions, capped-store evictions reported," \
-     "shard merge == unsharded sweep)"
+     "shard merge == unsharded sweep, socket round trip byte-compatible" \
+     "with pipe mode and drained cleanly)"

@@ -1,0 +1,152 @@
+//! Shared helpers for the network-serve test binaries: an in-process
+//! `qre serve --listen` server driven through `qre_cli::listen_serve`, and
+//! a minimal NDJSON client over a real TCP socket.
+
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{mpsc, Arc};
+
+use qre_cli::{listen_serve, ListenSummary, ServeOptions, ServeShared};
+use qre_json::Value;
+
+/// An in-process network serve service on an OS-assigned loopback port.
+pub struct NetServer {
+    pub shared: Arc<ServeShared>,
+    pub addr: SocketAddr,
+    handle: std::thread::JoinHandle<Result<ListenSummary, String>>,
+}
+
+impl NetServer {
+    pub fn start(options: &ServeOptions, max_conns: usize) -> NetServer {
+        let shared = Arc::new(ServeShared::new(options));
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                listen_serve(&shared, "127.0.0.1:0", max_conns, move |addr| {
+                    // The receiver may be gone if the test panicked early.
+                    let _ = tx.send(addr);
+                })
+            }
+        });
+        let addr = rx.recv().expect("server reports its bound address");
+        NetServer {
+            shared,
+            addr,
+            handle,
+        }
+    }
+
+    /// Raise the drain switch directly (the operator path; clients drain
+    /// with a `{"control": "shutdown"}` line instead) and wait the service
+    /// out.
+    pub fn drain_and_join(self) -> ListenSummary {
+        self.shared.shutdown_signal().signal();
+        self.join()
+    }
+
+    /// Wait for the service to finish draining (something else must have
+    /// raised the drain switch) and return its folded summary.
+    pub fn join(self) -> ListenSummary {
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("listen_serve succeeds")
+    }
+}
+
+/// One NDJSON client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to serve");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone socket")),
+            writer: stream,
+        }
+    }
+
+    /// Submit one job line.
+    pub fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send job line");
+    }
+
+    /// Read one record; `None` at EOF (the server closed the session).
+    pub fn read_record(&mut self) -> Option<Value> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read serve record");
+        if n == 0 {
+            return None;
+        }
+        Some(qre_json::parse(line.trim_end()).expect("serve record parses"))
+    }
+
+    pub fn expect_record(&mut self) -> Value {
+        self.read_record().expect("record before EOF")
+    }
+
+    /// Consume the opening lifecycle record, returning `(session, designs)`.
+    pub fn expect_hello(&mut self) -> (u64, u64) {
+        let hello = self.expect_record();
+        (
+            get_u64(&hello, "hello.session"),
+            get_u64(&hello, "hello.designs"),
+        )
+    }
+
+    /// Read records up to and including job `id`'s closing `"stats"`
+    /// record. (Use only while this is the connection's sole in-flight job
+    /// — a concurrent sibling's records would be misattributed.)
+    pub fn read_job(&mut self, id: &str) -> Vec<Value> {
+        let mut records = Vec::new();
+        loop {
+            let record = self.expect_record();
+            let done = record.get("job").and_then(Value::as_str) == Some(id)
+                && record.get("stats").is_some();
+            records.push(record);
+            if done {
+                return records;
+            }
+        }
+    }
+
+    /// Read every remaining record until the server closes the session.
+    pub fn read_to_eof(&mut self) -> Vec<Value> {
+        let mut records = Vec::new();
+        while let Some(record) = self.read_record() {
+            records.push(record);
+        }
+        records
+    }
+}
+
+/// Fetch a numeric field by dotted path, panicking with the record text on
+/// a miss — test assertions read better than `Option` chains.
+pub fn get_u64(record: &Value, path: &str) -> u64 {
+    record
+        .get_path(path)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("no u64 at {path} in {}", record.to_string_compact()))
+}
+
+/// The six-profile, one-budget sweep the serve tests standardize on
+/// (6 items, 6 distinct factory designs), under the given job id.
+pub fn sweep_line(id: &str) -> String {
+    format!(
+        "{{ \"id\": \"{id}\", \"sweep\": {{ \"algorithms\": [ {{ \"logicalCounts\": {{ \"numQubits\": 10, \"tCount\": 100 }} }} ], \"errorBudgets\": [ 1e-4 ] }} }}"
+    )
+}
+
+/// Stats record of a captured job, by id.
+pub fn stats_of<'a>(records: &'a [Value], id: &str) -> &'a Value {
+    records
+        .iter()
+        .find(|r| r.get("job").and_then(Value::as_str) == Some(id) && r.get("stats").is_some())
+        .unwrap_or_else(|| panic!("no stats record for job {id}"))
+}

@@ -1,0 +1,78 @@
+//! `QRE_THREADS=1` determinism over the network transport: identical
+//! single-client socket sessions must produce byte-identical captures
+//! across runs, matching the pipe transport record for record.
+//!
+//! This file holds the only network test that sets `QRE_THREADS`, so no
+//! sibling test in the same process can race on the environment.
+
+mod common;
+
+use common::{Client, NetServer};
+use qre_cli::{serve, ServeOptions};
+use qre_json::Value;
+
+const SCRIPT: [&str; 3] = [
+    r#"{ "id": "a", "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4, 1e-3 ] } }"#,
+    r#"{ "id": "b", "items": [ { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } }, { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 300 } } } ] }"#,
+    r#"{ "id": "c", "shard": {"index": 0, "count": 2}, "sweep": { "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 100 } } ], "errorBudgets": [ 1e-4, 1e-3 ] } }"#,
+];
+
+fn sequential() -> ServeOptions {
+    ServeOptions {
+        max_in_flight: 1,
+        ..ServeOptions::default()
+    }
+}
+
+/// One cold single-client socket session over the whole script, captured as
+/// compact record lines. The hello is dropped — its `peer` field is the
+/// client's ephemeral port, legitimately different every run — everything
+/// else (items, stats, control ack, bye) must be reproducible.
+fn socket_run() -> Vec<String> {
+    let server = NetServer::start(&sequential(), 4);
+    let mut client = Client::connect(server.addr);
+    for line in SCRIPT {
+        client.send(line);
+    }
+    client.send(r#"{"id": "stop", "control": "shutdown"}"#);
+    let records = client.read_to_eof();
+    server.join();
+    records
+        .iter()
+        .filter(|r| r.get("hello").is_none())
+        .map(Value::to_string_compact)
+        .collect()
+}
+
+#[test]
+fn single_threaded_socket_sessions_are_reproducible_and_match_pipe_mode() {
+    // One test owns the env var for this whole process (see module docs).
+    std::env::set_var("QRE_THREADS", "1");
+
+    let first = socket_run();
+    let second = socket_run();
+    assert_eq!(
+        first, second,
+        "QRE_THREADS=1 socket sessions must be byte-reproducible"
+    );
+
+    // And the job records are exactly the pipe transport's, in the same
+    // order — under one thread and in-flight 1 even completion order is
+    // deterministic, so no sorting is needed.
+    let script: String = SCRIPT.map(|l| format!("{l}\n")).concat();
+    let mut bytes: Vec<u8> = Vec::new();
+    serve(script.as_bytes(), &mut bytes, &sequential()).unwrap();
+    let pipe_records: Vec<String> = std::str::from_utf8(&bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let socket_job_records: Vec<String> = first
+        .iter()
+        .filter(|l| !l.contains("\"bye\"") && !l.contains("\"control\""))
+        .cloned()
+        .collect();
+    assert_eq!(socket_job_records, pipe_records);
+
+    std::env::remove_var("QRE_THREADS");
+}

@@ -211,6 +211,77 @@ fn capped_serve_session_reports_evictions_and_respects_the_bound() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// Two concurrent sessions sharing one `--cache-file` path: the documented
+/// contract is **last-writer-wins, never torn**. Every save writes a unique
+/// temporary file and renames it into place, so whatever interleaving the
+/// scheduler picks, the path ends up holding exactly one session's complete
+/// snapshot — loadable, version-checked, and bit-identical to that
+/// session's store — not a byte-level mixture of the two.
+#[test]
+fn concurrent_sessions_on_one_snapshot_path_are_last_writer_wins_not_torn() {
+    let path = temp_path("last-writer-wins");
+    assert!(!path.exists());
+    let options = ServeOptions {
+        max_in_flight: 1,
+        cache_file: Some(path.clone()),
+        ..ServeOptions::default()
+    };
+    // Disjoint design sets: the budgets differ, and the budget-derived
+    // required fidelity is part of the design key, so session A's six
+    // designs share nothing with session B's.
+    let session_line = |budget: &str| -> String {
+        format!(
+            "{{ \"id\": \"s\", \"sweep\": {{ \"algorithms\": [ {{ \"logicalCounts\": {{ \"numQubits\": 10, \"tCount\": 100 }} }} ], \"errorBudgets\": [ {budget} ] }} }}\n"
+        )
+    };
+    let budgets = ["1e-4", "1e-3"];
+    let sessions: Vec<_> = budgets
+        .iter()
+        .map(|budget| {
+            let script = session_line(budget);
+            let options = options.clone();
+            std::thread::spawn(move || {
+                let mut bytes: Vec<u8> = Vec::new();
+                serve(script.as_bytes(), &mut bytes, &options).expect("session succeeds")
+            })
+        })
+        .collect();
+    for session in sessions {
+        let summary = session.join().expect("session thread");
+        assert_eq!(summary.job_errors, 0);
+        assert_eq!(summary.designs_saved, 6);
+    }
+
+    // Not torn: whatever the save interleaving, the path holds one valid,
+    // complete snapshot...
+    let store = FactoryCache::new();
+    let loaded = store.load(&path).expect("the snapshot is never torn");
+    assert_eq!(loaded, 6, "exactly one session's designs survive");
+
+    // ...and it is exactly ONE session's set, not a merge: replaying each
+    // session's sweep against its own copy of the file, precisely one runs
+    // pure-hit (the last writer) and the other pure-miss.
+    let mut pure_hit = 0;
+    for budget in budgets {
+        let replay_path = temp_path(&format!("lww-replay-{budget}"));
+        std::fs::copy(&path, &replay_path).unwrap();
+        let replay_options = ServeOptions {
+            max_in_flight: 1,
+            cache_file: Some(replay_path.clone()),
+            ..ServeOptions::default()
+        };
+        let (_, lines) = run_serve(&session_line(budget), &replay_options);
+        match stats_field(&lines, "cacheMisses") {
+            0 => pure_hit += 1,
+            6 => {}
+            other => panic!("a mixed snapshot leaked through: {other} misses"),
+        }
+        std::fs::remove_file(&replay_path).unwrap();
+    }
+    assert_eq!(pure_hit, 1, "exactly one session won the final save");
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn periodic_saves_snapshot_mid_session() {
     let path = temp_path("periodic");
