@@ -1,0 +1,148 @@
+//! Perf-regression guard for the two speedups committed in `BENCH_engine.json`.
+//!
+//! Re-measures, with plain `Instant` medians (no criterion, so it can run as
+//! an ordinary binary in CI):
+//!
+//! - **search speedup** — exhaustive pipeline enumeration vs. the
+//!   branch-and-bound search on the paper's maj_ns_e4 / Floquet problem at
+//!   the Figure 3 requirement (7.2e-12);
+//! - **cold/warm sweep speedup** — a fresh `Estimator` per sweep vs. one
+//!   whose factory cache was primed, over the six default hardware profiles.
+//!
+//! Exits non-zero if either measured speedup falls below the committed floor
+//! (`floors.search_speedup_min` / `floors.cold_over_warm_min` in
+//! `BENCH_engine.json`). The floors are deliberately far below the medians
+//! recorded there: the guard exists to catch an accidental return to
+//! exhaustive-search cost, not to flag scheduler jitter on a busy CI box.
+//!
+//! Run with `cargo run --release -p qre-bench --bin bench_check`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qre_circuit::LogicalCounts;
+use qre_core::{Estimator, PhysicalQubit, QecScheme, SweepSpec, TFactoryBuilder};
+
+/// Median wall time of `iters` runs of `f`, in nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn committed_floors() -> Result<(f64, f64), String> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .join("BENCH_engine.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = qre_json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let floor = |key: &str| {
+        doc.get_path(&format!("floors.{key}"))
+            .and_then(qre_json::Value::as_f64)
+            .ok_or_else(|| format!("{}: missing floors.{key}", path.display()))
+    };
+    Ok((floor("search_speedup_min")?, floor("cold_over_warm_min")?))
+}
+
+fn main() -> ExitCode {
+    let (search_floor, sweep_floor) = match committed_floors() {
+        Ok(floors) => floors,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Search: the Figure 3 distillation problem, pruned vs. exhaustive.
+    let qubit = PhysicalQubit::qubit_maj_ns_e4();
+    let scheme = QecScheme::floquet_code();
+    let builder = TFactoryBuilder::default();
+    let required = 7.2e-12;
+    let (pruned, stats) = builder.find_factory_with_stats(&qubit, &scheme, required, None);
+    let pruned = pruned.expect("the paper problem is solvable");
+    let exhaustive = builder
+        .find_factory_exhaustive(&qubit, &scheme, required)
+        .expect("the paper problem is solvable");
+    assert_eq!(
+        pruned, exhaustive,
+        "branch-and-bound and exhaustive search disagree on the paper problem"
+    );
+    let pruned_ns = median_ns(31, || {
+        builder.find_factory(&qubit, &scheme, required).unwrap();
+    });
+    let exhaustive_ns = median_ns(7, || {
+        builder
+            .find_factory_exhaustive(&qubit, &scheme, required)
+            .unwrap();
+    });
+    let search_speedup = exhaustive_ns / pruned_ns;
+
+    // Sweep: the BENCH_engine.json workload over the six default profiles.
+    let spec = SweepSpec::new()
+        .workload(
+            "sweep",
+            LogicalCounts {
+                num_qubits: 2_000,
+                t_count: 500_000,
+                ccz_count: 100_000,
+                measurement_count: 500_000,
+                ..Default::default()
+            },
+        )
+        .profiles(PhysicalQubit::default_profiles())
+        .total_error_budget(1e-4);
+    let cold_ns = median_ns(21, || {
+        Estimator::new().sweep(&spec).unwrap();
+    });
+    let engine = Estimator::new();
+    engine.sweep(&spec).unwrap(); // prime the factory cache
+    let warm_ns = median_ns(21, || {
+        engine.sweep(&spec).unwrap();
+    });
+    let cold_over_warm = cold_ns / warm_ns;
+
+    println!("bench_check: tfactory search (maj_ns_e4 / floquet, required {required:.1e})");
+    println!("  pruned      {:>12.1} us", pruned_ns / 1e3);
+    println!("  exhaustive  {:>12.1} us", exhaustive_ns / 1e3);
+    println!("  speedup     {search_speedup:>12.1}x  (floor {search_floor}x)");
+    println!(
+        "  counters    expanded {} / pruned_bound {} / pruned_dominated {} / memo_hits {} / realised {}",
+        stats.nodes_expanded,
+        stats.nodes_pruned_bound,
+        stats.nodes_pruned_dominated,
+        stats.memo_hits,
+        stats.factories_realised
+    );
+    println!("bench_check: engine sweep (six default profiles)");
+    println!("  cold        {:>12.1} us", cold_ns / 1e3);
+    println!("  warm        {:>12.1} us", warm_ns / 1e3);
+    println!("  speedup     {cold_over_warm:>12.1}x  (floor {sweep_floor}x)");
+
+    let mut ok = true;
+    if search_speedup < search_floor {
+        eprintln!(
+            "bench_check: FAIL search speedup {search_speedup:.1}x below floor {search_floor}x"
+        );
+        ok = false;
+    }
+    if cold_over_warm < sweep_floor {
+        eprintln!(
+            "bench_check: FAIL cold/warm sweep speedup {cold_over_warm:.1}x below floor {sweep_floor}x"
+        );
+        ok = false;
+    }
+    if ok {
+        println!("bench_check: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -214,6 +214,22 @@ pub(crate) fn sweep_item_json(o: &qre_core::SweepOutcome) -> Value {
     }
 }
 
+/// Render an engine's aggregated pipeline-search counters as the
+/// `searchStats` JSON object (the `--search-stats` surface, shared by the
+/// one-shot CLI and the serve service).
+pub fn search_stats_json(engine: &Estimator) -> Value {
+    let s = engine.search_stats();
+    ObjectBuilder::new()
+        .field("searches", s.searches)
+        .field("seededSearches", s.seeded_searches)
+        .field("nodesExpanded", s.totals.nodes_expanded)
+        .field("nodesPrunedBound", s.totals.nodes_pruned_bound)
+        .field("nodesPrunedDominated", s.totals.nodes_pruned_dominated)
+        .field("memoHits", s.totals.memo_hits)
+        .field("factoriesRealised", s.totals.factories_realised)
+        .build()
+}
+
 /// Run a submission through a fresh engine: a single result object,
 /// `{"items": [...]}` for a batch, or `{"estimateType": "sweep", "items":
 /// [...]}` for a sweep. Batch and sweep items that fail estimation report
@@ -221,14 +237,20 @@ pub(crate) fn sweep_item_json(o: &qre_core::SweepOutcome) -> Value {
 /// the submission's `stream` flag; callers honouring it use
 /// [`run_submission_streamed`].
 pub fn run_submission(submission: &Submission) -> Result<Value, String> {
-    let engine = Estimator::new();
+    run_submission_via(&Estimator::new(), submission)
+}
+
+/// [`run_submission`] on a caller-supplied engine, so the caller keeps the
+/// engine's cache and search counters after the run (the `--search-stats`
+/// flow) or shares one warm cache across submissions.
+pub fn run_submission_via(engine: &Estimator, submission: &Submission) -> Result<Value, String> {
     match &submission.kind {
-        SubmissionKind::Single(spec) => run_job_via(&engine, spec),
+        SubmissionKind::Single(spec) => run_job_via(engine, spec),
         SubmissionKind::Batch(jobs) => {
             // One parallel pass over the whole array; every item shares the
             // engine's factory cache.
             let items: Vec<Value> =
-                qre_par::parallel_map(jobs, |spec| match run_job_via(&engine, spec) {
+                qre_par::parallel_map(jobs, |spec| match run_job_via(engine, spec) {
                     Ok(v) => v,
                     Err(e) => ObjectBuilder::new()
                         .field("status", "error")
@@ -328,10 +350,19 @@ impl<'a> NdjsonSink<'a> {
 /// failing *single* job returns `Err`, exactly as in [`run_submission`],
 /// so exit codes do not depend on the delivery mode.
 pub fn run_submission_streamed(submission: &Submission, out: &mut dyn Write) -> Result<(), String> {
-    let engine = Estimator::new();
+    run_submission_streamed_via(&Estimator::new(), submission, out)
+}
+
+/// [`run_submission_streamed`] on a caller-supplied engine (see
+/// [`run_submission_via`]).
+pub fn run_submission_streamed_via(
+    engine: &Estimator,
+    submission: &Submission,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     match &submission.kind {
         SubmissionKind::Single(spec) => {
-            let record = run_job_via(&engine, spec)?;
+            let record = run_job_via(engine, spec)?;
             let mut sink = NdjsonSink::new(out, 1);
             sink.record(&record);
             sink.finish()
@@ -340,7 +371,7 @@ pub fn run_submission_streamed(submission: &Submission, out: &mut dyn Write) -> 
             let mut sink = NdjsonSink::new(out, jobs.len());
             qre_par::parallel_map_streamed_until(
                 jobs,
-                |_, spec| match run_job_via(&engine, spec) {
+                |_, spec| match run_job_via(engine, spec) {
                     Ok(v) => v,
                     Err(e) => ObjectBuilder::new()
                         .field("status", "error")

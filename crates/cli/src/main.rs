@@ -31,8 +31,9 @@ fn usage() -> &'static str {
     "qre — quantum resource estimator (local job runner)\n\
      \n\
      USAGE:\n\
-     \x20 qre [--report | --compact] <job.json | ->\n\
+     \x20 qre [--report | --compact] [--search-stats] <job.json | ->\n\
      \x20 qre serve [--jobs N] [--cache-file PATH] [--cache-cap N] [--save-every N]\n\
+     \x20           [--search-stats]\n\
      \x20 qre serve --listen ADDR [--max-conns N] [--per-conn K] [common flags]\n\
      \x20 qre merge <shard.ndjson>...\n\
      \n\
@@ -41,6 +42,9 @@ fn usage() -> &'static str {
      default, `--compact` emits one line, `--report` renders a text report.\n\
      A submission with top-level \"stream\": true emits NDJSON records as\n\
      items finish, interleaved with {\"progress\": k, \"total\": n} lines.\n\
+     With --search-stats (JSON modes only) a {\"searchStats\": ...} line is\n\
+     printed to stderr after the run: pipeline searches run, seeded\n\
+     searches, branch-and-bound nodes expanded/pruned, memo hits.\n\
      \n\
      `qre serve` reads one JSON job per stdin line until EOF and writes\n\
      completion-order NDJSON records (every record carries its \"job\" id;\n\
@@ -55,6 +59,8 @@ fn usage() -> &'static str {
      \x20 --cache-cap N     bound the store to N designs (LRU eviction)\n\
      \x20 --save-every N    with --cache-file, also save every N completed\n\
      \x20                   jobs (default 25; 0 = only at session end)\n\
+     \x20 --search-stats    add a searchStats object (pipeline-search\n\
+     \x20                   counters) to every job's \"stats\" record\n\
      \n\
      `qre serve --listen ADDR` serves the same NDJSON protocol over TCP\n\
      (ADDR like 127.0.0.1:7733; port 0 picks a free port, reported on\n\
@@ -151,6 +157,7 @@ fn serve_main(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--search-stats" => options.search_stats = true,
             other => {
                 eprintln!("unexpected serve argument `{other}`\n\n{}", usage());
                 return ExitCode::FAILURE;
@@ -288,6 +295,7 @@ fn main() -> ExitCode {
     }
     let mut report = false;
     let mut compact = false;
+    let mut search_stats = false;
     let mut input: Option<String> = None;
     for arg in &args {
         match arg.as_str() {
@@ -297,6 +305,7 @@ fn main() -> ExitCode {
             }
             "--report" => report = true,
             "--compact" => compact = true,
+            "--search-stats" => search_stats = true,
             other if input.is_none() => input = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument `{other}`\n\n{}", usage());
@@ -339,6 +348,10 @@ fn main() -> ExitCode {
             eprintln!("--report cannot stream; drop `\"stream\": true` or use JSON output");
             return ExitCode::FAILURE;
         }
+        if search_stats {
+            eprintln!("--search-stats requires JSON output; drop --report");
+            return ExitCode::FAILURE;
+        }
         let specs: Vec<&qre_cli::JobSpec> = match &submission.kind {
             qre_cli::SubmissionKind::Single(spec) => vec![spec],
             qre_cli::SubmissionKind::Batch(jobs) => jobs.iter().collect(),
@@ -362,21 +375,10 @@ fn main() -> ExitCode {
     } else if submission.stream {
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
-        match qre_cli::run_submission_streamed(&submission, &mut out) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("estimation failed: {e}");
-                ExitCode::FAILURE
-            }
-        }
-    } else {
-        match qre_cli::run_submission(&submission) {
-            Ok(value) => {
-                if compact {
-                    println!("{}", value.to_string_compact());
-                } else {
-                    println!("{}", value.to_string_pretty());
-                }
+        let engine = qre_core::Estimator::new();
+        match qre_cli::run_submission_streamed_via(&engine, &submission, &mut out) {
+            Ok(()) => {
+                print_search_stats(search_stats, &engine);
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -384,5 +386,34 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+    } else {
+        let engine = qre_core::Estimator::new();
+        match qre_cli::run_submission_via(&engine, &submission) {
+            Ok(value) => {
+                if compact {
+                    println!("{}", value.to_string_compact());
+                } else {
+                    println!("{}", value.to_string_pretty());
+                }
+                print_search_stats(search_stats, &engine);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("estimation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// With `--search-stats`, print the run's aggregated pipeline-search
+/// counters as one JSON line on stderr — stdout stays exactly the job
+/// output, so existing consumers parse it unchanged.
+fn print_search_stats(enabled: bool, engine: &qre_core::Estimator) {
+    if enabled {
+        let record = qre_json::ObjectBuilder::new()
+            .field("searchStats", qre_cli::search_stats_json(engine))
+            .build();
+        eprintln!("{}", record.to_string_compact());
     }
 }

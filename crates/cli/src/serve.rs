@@ -149,6 +149,12 @@ pub struct ServeOptions {
     /// every this-many completed jobs across all sessions (`--save-every
     /// N`); `0` saves only at service end. Ignored without a cache file.
     pub save_every: usize,
+    /// Extend every job's closing `"stats"` record with a `searchStats`
+    /// object (`--search-stats`): pipeline searches run, seeded searches,
+    /// nodes expanded/pruned, memo hits — the observability surface of the
+    /// branch-and-bound factory search. Off by default to keep records
+    /// byte-stable for existing consumers.
+    pub search_stats: bool,
 }
 
 impl Default for ServeOptions {
@@ -169,6 +175,7 @@ impl Default for ServeOptions {
             // configured, while keeping saves rare enough to stay invisible
             // next to estimation cost.
             save_every: 25,
+            search_stats: false,
         }
     }
 }
@@ -477,7 +484,13 @@ where
                     if output_dead.load(Ordering::Relaxed) {
                         return;
                     }
-                    if !run_serve_job(&line, ordinal, shared.store(), &job_sink) {
+                    if !run_serve_job(
+                        &line,
+                        ordinal,
+                        shared.store(),
+                        shared.options().search_stats,
+                        &job_sink,
+                    ) {
                         job_errors.fetch_add(1, Ordering::Relaxed);
                     }
                     shared.job_completed();
@@ -719,7 +732,13 @@ fn parse_shard(v: &Value) -> Result<Shard, String> {
 
 /// Parse and execute one job line, pushing records to `sink`. Returns
 /// `false` when the job produced a job-level error record.
-fn run_serve_job(line: &str, ordinal: usize, store: &Arc<FactoryCache>, sink: &RecordSink) -> bool {
+fn run_serve_job(
+    line: &str,
+    ordinal: usize,
+    store: &Arc<FactoryCache>,
+    search_stats: bool,
+    sink: &RecordSink,
+) -> bool {
     let mut emit = |record: Value| sink.emit(record);
     let doc = match qre_json::parse(line) {
         Ok(doc) => doc,
@@ -752,7 +771,13 @@ fn run_serve_job(line: &str, ordinal: usize, store: &Arc<FactoryCache>, sink: &R
     let engine = Estimator::with_cache(Arc::new(store.scoped()));
     match execute(&engine, submission, envelope.shard, &id, &mut emit) {
         Ok(counts) => {
-            emit(stats_record(&id, &engine, envelope.shard, counts));
+            emit(stats_record(
+                &id,
+                &engine,
+                envelope.shard,
+                counts,
+                search_stats,
+            ));
             true
         }
         Err(message) => {
@@ -857,7 +882,13 @@ fn execute(
 }
 
 /// The job's closing `"stats"` record.
-fn stats_record(id: &Value, engine: &Estimator, shard: Option<Shard>, counts: ItemCounts) -> Value {
+fn stats_record(
+    id: &Value,
+    engine: &Estimator,
+    shard: Option<Shard>,
+    counts: ItemCounts,
+    search_stats: bool,
+) -> Value {
     let cache = engine.cache_stats();
     let mut stats = ObjectBuilder::new()
         .field("items", counts.items as u64)
@@ -868,6 +899,11 @@ fn stats_record(id: &Value, engine: &Estimator, shard: Option<Shard>, counts: It
         // Store-level, like `cacheEntries`: evictions since session start,
         // shared by every job over the bounded store (0 when unbounded).
         .field("cacheEvictions", cache.evictions);
+    if search_stats {
+        // Per-job, like cacheHits/cacheMisses: this job's engine owns its
+        // scoped cache view, so the counters cover exactly its searches.
+        stats = stats.field("searchStats", crate::search_stats_json(engine));
+    }
     if let Some(s) = shard {
         stats = stats.field(
             "shard",

@@ -72,7 +72,7 @@ use std::sync::{Arc, Mutex};
 use crate::error::{Error, Result};
 use crate::physical_qubit::{InstructionSet, PhysicalQubit};
 use crate::qec::QecScheme;
-use crate::tfactory::{FactoryRound, RoundLevel, TFactory, TFactoryBuilder};
+use crate::tfactory::{FactoryRound, RoundLevel, SearchStats, TFactory, TFactoryBuilder};
 use qre_json::{ObjectBuilder, Value};
 
 /// Snapshot document type tag ([`FactoryCache::save`] writes it,
@@ -127,12 +127,13 @@ impl KeyBuilder {
     }
 }
 
-fn factory_key(
-    builder: &TFactoryBuilder,
-    qubit: &PhysicalQubit,
-    scheme: &QecScheme,
-    required: f64,
-) -> FactoryKey {
+/// Fingerprint of a design *family*: every search input **except** the
+/// required output error. Two problems in one family differ only in how far
+/// the pipeline must distill — exactly the shape of neighbouring sweep items
+/// — so a completed family member's (achieved error, volume) is a valid
+/// incumbent seed for any member with a looser-or-equal requirement (see
+/// [`Store::seed_volume`]).
+fn family_key(builder: &TFactoryBuilder, qubit: &PhysicalQubit, scheme: &QecScheme) -> FactoryKey {
     let mut k = KeyBuilder::default();
     // Qubit model: every field the search reads. The profile name is
     // cosmetic and deliberately excluded, so renamed-but-identical models
@@ -187,8 +188,18 @@ fn factory_key(
         }
         k.u64(u64::from(unit.first_round_only));
     }
-    k.f64(required);
     k.finish()
+}
+
+/// The full problem fingerprint: the family plus the required output error
+/// (appended last, preserving the exact word order of snapshot version 1).
+fn factory_key(family: &FactoryKey, required: f64) -> FactoryKey {
+    let mut words = family.words.clone();
+    words.push(required.to_bits());
+    FactoryKey {
+        words,
+        text: family.text.clone(),
+    }
 }
 
 /// Hit/miss/size/eviction counters of a [`FactoryCache`].
@@ -221,14 +232,29 @@ struct Slot {
     last_used: u64,
 }
 
+/// Most design families tracked for incumbent seeding before the map is
+/// reset. Seeds are a pure optimisation (the search result is identical
+/// with or without one), so a coarse clear-on-overflow policy is enough to
+/// bound a long-running server's memory.
+const FAMILY_BOUNDS_CAP: usize = 256;
+
+/// Most (achieved error, volume) points kept per family staircase. The
+/// Pareto retention below keeps real staircases tiny; this is a backstop.
+const FAMILY_STAIRCASE_CAP: usize = 64;
+
 /// The shared design store: entries plus the state that must be common to
-/// every scoped view (capacity bound, LRU clock, eviction count).
+/// every scoped view (capacity bound, LRU clock, eviction count), plus the
+/// per-family incumbent bounds that warm-start neighbouring searches.
 #[derive(Debug, Default)]
 struct Store {
     entries: HashMap<FactoryKey, Slot>,
     capacity: Option<usize>,
     clock: u64,
     evictions: u64,
+    /// Per-family Pareto staircase of completed designs, as (achieved
+    /// output error, volume) points. Never persisted in snapshots: seeds
+    /// only accelerate searches, they never change results.
+    family_bounds: HashMap<FactoryKey, Vec<(f64, f64)>>,
 }
 
 impl Store {
@@ -272,6 +298,49 @@ impl Store {
             }
         }
     }
+
+    /// The best achievable incumbent seed for a family member requiring
+    /// `required`: the smallest recorded volume among designs whose achieved
+    /// output error already meets `required`. Such a design is itself a
+    /// valid solution of the new problem, so its volume is an upper bound
+    /// the branch-and-bound may prune against from the first node.
+    fn seed_volume(&self, family: &FactoryKey, required: f64) -> Option<f64> {
+        let points = self.family_bounds.get(family)?;
+        points
+            .iter()
+            .filter(|(achieved, _)| *achieved <= required)
+            .map(|(_, volume)| *volume)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Record a completed design's (achieved error, volume) point on its
+    /// family staircase, keeping only Pareto-useful points (a point beaten
+    /// on both axes can never be the chosen seed).
+    fn record_bound(&mut self, family: FactoryKey, achieved: f64, volume: f64) {
+        if self.family_bounds.len() >= FAMILY_BOUNDS_CAP
+            && !self.family_bounds.contains_key(&family)
+        {
+            self.family_bounds.clear();
+        }
+        let points = self.family_bounds.entry(family).or_default();
+        if points.iter().any(|&(a, v)| a <= achieved && v <= volume) {
+            return;
+        }
+        points.retain(|&(a, v)| !(achieved <= a && volume <= v));
+        points.push((achieved, volume));
+        if points.len() > FAMILY_STAIRCASE_CAP {
+            // Backstop: drop the loosest point; tight seeds serve the most
+            // family members.
+            if let Some(worst) = points
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
+                .map(|(i, _)| i)
+            {
+                points.swap_remove(worst);
+            }
+        }
+    }
 }
 
 /// Thread-safe, bounded, persistable memo table for T-factory pipeline
@@ -298,6 +367,79 @@ pub struct FactoryCache {
     store: Arc<Mutex<Store>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    search: SearchCountersAtomic,
+}
+
+/// Aggregated pipeline-search counters of one cache view (the
+/// `--search-stats` record): how many searches ran, how many were
+/// warm-started from a family seed, and the summed [`SearchStats`] of all
+/// of them. Like hits/misses, these are **per-view** — a
+/// [`FactoryCache::scoped`] sibling counts its own searches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Pipeline searches this view actually ran (= cache misses that
+    /// reached the searcher).
+    pub searches: u64,
+    /// Searches whose incumbent was seeded from a completed family
+    /// neighbour's volume.
+    pub seeded_searches: u64,
+    /// Summed per-search counters (nodes expanded/pruned, memo hits,
+    /// factories realised).
+    pub totals: SearchStats,
+}
+
+/// Lock-free accumulator behind [`SearchCounters`].
+#[derive(Debug, Default)]
+struct SearchCountersAtomic {
+    searches: AtomicU64,
+    seeded_searches: AtomicU64,
+    nodes_expanded: AtomicU64,
+    nodes_pruned_bound: AtomicU64,
+    nodes_pruned_dominated: AtomicU64,
+    memo_hits: AtomicU64,
+    factories_realised: AtomicU64,
+}
+
+impl SearchCountersAtomic {
+    fn record(&self, seeded: bool, stats: &SearchStats) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        if seeded {
+            self.seeded_searches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.nodes_expanded
+            .fetch_add(stats.nodes_expanded, Ordering::Relaxed);
+        self.nodes_pruned_bound
+            .fetch_add(stats.nodes_pruned_bound, Ordering::Relaxed);
+        self.nodes_pruned_dominated
+            .fetch_add(stats.nodes_pruned_dominated, Ordering::Relaxed);
+        self.memo_hits.fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.factories_realised
+            .fetch_add(stats.factories_realised, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> SearchCounters {
+        SearchCounters {
+            searches: self.searches.load(Ordering::Relaxed),
+            seeded_searches: self.seeded_searches.load(Ordering::Relaxed),
+            totals: SearchStats {
+                nodes_expanded: self.nodes_expanded.load(Ordering::Relaxed),
+                nodes_pruned_bound: self.nodes_pruned_bound.load(Ordering::Relaxed),
+                nodes_pruned_dominated: self.nodes_pruned_dominated.load(Ordering::Relaxed),
+                memo_hits: self.memo_hits.load(Ordering::Relaxed),
+                factories_realised: self.factories_realised.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    fn reset(&self) {
+        self.searches.store(0, Ordering::Relaxed);
+        self.seeded_searches.store(0, Ordering::Relaxed);
+        self.nodes_expanded.store(0, Ordering::Relaxed);
+        self.nodes_pruned_bound.store(0, Ordering::Relaxed);
+        self.nodes_pruned_dominated.store(0, Ordering::Relaxed);
+        self.memo_hits.store(0, Ordering::Relaxed);
+        self.factories_realised.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Monotonic discriminator for temporary snapshot files, so concurrent
@@ -335,6 +477,7 @@ impl FactoryCache {
             store: Arc::clone(&self.store),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            search: SearchCountersAtomic::default(),
         }
     }
 
@@ -348,18 +491,36 @@ impl FactoryCache {
         scheme: &QecScheme,
         required: f64,
     ) -> Result<TFactory> {
-        let key = factory_key(builder, qubit, scheme, required);
-        if let Some(cached) = self.store.lock().expect("factory cache lock").touch(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached;
-        }
+        let family = family_key(builder, qubit, scheme);
+        let key = factory_key(&family, required);
+        let seed = {
+            let mut store = self.store.lock().expect("factory cache lock");
+            if let Some(cached) = store.touch(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cached;
+            }
+            // Miss: pick up an incumbent seed from a completed family
+            // neighbour (same problem, different required error) before
+            // releasing the lock.
+            store.seed_volume(&family, required)
+        };
         // Search outside the lock: concurrent misses on the same key may
         // duplicate work once, but never block each other on the (long)
         // pipeline search. Insertion is first-write-wins — a racer that
         // finds the entry already present counts as a hit and returns the
         // stored design, so `misses` counts exactly the searches that
         // populated the cache and every caller sees one canonical result.
-        let designed = builder.find_factory(qubit, scheme, required);
+        let (mut designed, stats) = builder.find_factory_with_stats(qubit, scheme, required, seed);
+        self.search.record(seed.is_some(), &stats);
+        if designed.is_err() && seed.is_some() {
+            // A recorded family bound is always achievable, so a seeded
+            // search can only fail where the unseeded one would. Still,
+            // never let the optimisation turn into a wrong answer: re-run
+            // without the seed before trusting a failure.
+            let (cold, cold_stats) = builder.find_factory_with_stats(qubit, scheme, required, None);
+            self.search.record(false, &cold_stats);
+            designed = cold;
+        }
         let mut store = self.store.lock().expect("factory cache lock");
         match store.touch(&key) {
             Some(existing) => {
@@ -368,10 +529,19 @@ impl FactoryCache {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Ok(factory) = &designed {
+                    store.record_bound(family, factory.output_error_rate, factory.volume());
+                }
                 store.insert(key, designed.clone());
                 designed
             }
         }
+    }
+
+    /// This view's aggregated pipeline-search counters (see
+    /// [`SearchCounters`]). Per-view, like hits/misses.
+    pub fn search_counters(&self) -> SearchCounters {
+        self.search.load()
     }
 
     /// Current counters. `hits`/`misses` are this view's; `entries`,
@@ -396,9 +566,11 @@ impl FactoryCache {
         let mut store = self.store.lock().expect("factory cache lock");
         store.entries.clear();
         store.evictions = 0;
+        store.family_bounds.clear();
         drop(store);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.search.reset();
     }
 
     /// Serialize the store as a versioned snapshot document (see the module
@@ -964,5 +1136,68 @@ mod tests {
         // The refreshed entry survived the truncating load.
         bounded.find_factory(&b, &q, &s, requirement(0)).unwrap();
         assert_eq!(bounded.stats().hits, 1, "most recent design kept");
+    }
+
+    #[test]
+    fn family_neighbours_seed_the_incumbent_without_changing_results() {
+        let (b, q, s) = problem();
+        let cache = FactoryCache::new();
+        // Tight requirement first: its achieved error also meets the looser
+        // requirement, so the second search starts with a warm incumbent.
+        let tight = cache.find_factory(&b, &q, &s, 1e-11).unwrap();
+        assert!(tight.output_error_rate <= 1e-11);
+        assert_eq!(cache.search_counters().seeded_searches, 0);
+        let loose = cache.find_factory(&b, &q, &s, 1e-9).unwrap();
+        let counters = cache.search_counters();
+        assert_eq!(counters.searches, 2);
+        assert_eq!(counters.seeded_searches, 1, "neighbour bound must seed");
+        assert_eq!(
+            loose,
+            b.find_factory(&q, &s, 1e-9).unwrap(),
+            "a seeded search returns exactly the cold search's design"
+        );
+    }
+
+    #[test]
+    fn search_counters_are_per_view_and_cleared_with_the_cache() {
+        let (b, q, s) = problem();
+        let base = FactoryCache::new();
+        base.find_factory(&b, &q, &s, 1e-10).unwrap();
+        let c = base.search_counters();
+        assert_eq!(c.searches, 1);
+        assert!(c.totals.nodes_expanded > 0);
+        assert!(c.totals.memo_hits > 0);
+        assert!(c.totals.factories_realised > 0);
+
+        // A sibling view counts its own searches; a cache hit runs none.
+        let job = base.scoped();
+        assert_eq!(job.search_counters(), SearchCounters::default());
+        job.find_factory(&b, &q, &s, 1e-10).unwrap();
+        assert_eq!(job.search_counters().searches, 0, "hit runs no search");
+        assert_eq!(base.search_counters().searches, 1);
+
+        base.clear();
+        assert_eq!(base.search_counters(), SearchCounters::default());
+    }
+
+    #[test]
+    fn family_staircase_keeps_only_useful_seed_points() {
+        let mut store = Store::default();
+        let fam = FactoryKey {
+            words: vec![1],
+            text: String::new(),
+        };
+        store.record_bound(fam.clone(), 1e-9, 100.0);
+        store.record_bound(fam.clone(), 1e-9, 200.0); // dominated: dropped
+        store.record_bound(fam.clone(), 1e-12, 50.0); // dominates the first
+        assert_eq!(store.family_bounds.get(&fam).unwrap().len(), 1);
+        assert_eq!(store.seed_volume(&fam, 1e-9), Some(50.0));
+        assert_eq!(store.seed_volume(&fam, 1e-12), Some(50.0));
+        assert_eq!(store.seed_volume(&fam, 1e-13), None, "no achievable seed");
+        let other = FactoryKey {
+            words: vec![2],
+            text: String::new(),
+        };
+        assert_eq!(store.seed_volume(&other, 1e-9), None, "families isolated");
     }
 }

@@ -288,6 +288,20 @@ impl Estimator {
         self.cache.stats()
     }
 
+    /// Aggregated pipeline-search counters of this engine's cache view
+    /// (searches run, seeded searches, nodes expanded/pruned, memo hits) —
+    /// the record behind the CLI's `--search-stats` flag.
+    ///
+    /// Sweeps and frontiers share incumbent bounds through the cache: every
+    /// completed design records its (achieved error, volume) for its design
+    /// *family* (same qubit model, scheme, and search configuration), and a
+    /// later item of the same family that only moves the required T error
+    /// starts its branch-and-bound from that neighbour's volume instead of
+    /// from scratch. `seeded_searches` counts how often that fired.
+    pub fn search_stats(&self) -> crate::cache::SearchCounters {
+        self.cache.search_counters()
+    }
+
     /// Drop every cached factory design.
     pub fn clear_cache(&self) {
         self.cache.clear()

@@ -57,7 +57,7 @@ mod result;
 mod tfactory;
 
 pub use budget::ErrorBudget;
-pub use cache::{CacheStats, FactoryCache, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
+pub use cache::{CacheStats, FactoryCache, SearchCounters, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use engine::{
     collect_results, merge_indexed, merge_sharded, BatchOutcome, BatchStream, Estimator,
     OutcomeStream, SweepOutcome, SweepStream,
@@ -68,7 +68,7 @@ pub use frontier::{estimate_frontier, FrontierPoint};
 pub use job::{EstimationJob, EstimationJobBuilder};
 pub use layout::{layout, post_layout_logical_qubits, t_states_per_rotation, LogicalLayout};
 pub use physical_qubit::{InstructionSet, PhysicalQubit};
-pub use qec::{LogicalQubit, QecScheme, QecSchemeKind};
+pub use qec::{DistanceRow, DistanceTable, LogicalQubit, QecScheme, QecSchemeKind};
 pub use request::{
     EstimateRequest, EstimateRequestBuilder, Shard, SweepPoint, SweepScheme, SweepSpec,
 };
@@ -78,7 +78,7 @@ pub use result::{
 };
 pub use tfactory::{
     default_distillation_units, DistillationUnit, FactoryRound, LogicalUnitSpec, PhysicalUnitSpec,
-    RoundLevel, TFactory, TFactoryBuilder,
+    RoundLevel, SearchStats, TFactory, TFactoryBuilder,
 };
 
 /// Convenience alias: a hardware profile *is* a physical qubit model.

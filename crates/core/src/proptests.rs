@@ -9,9 +9,13 @@ use crate::estimate::{Constraints, PhysicalResourceEstimation};
 use crate::physical_qubit::PhysicalQubit;
 use crate::qec::{QecScheme, QecSchemeKind};
 use crate::request::SweepSpec;
-use crate::tfactory::TFactoryBuilder;
+use crate::tfactory::{
+    default_distillation_units, DistillationUnit, LogicalUnitSpec, PhysicalUnitSpec,
+    TFactoryBuilder,
+};
 use proptest::prelude::*;
 use qre_circuit::LogicalCounts;
+use qre_expr::Formula;
 use qre_json::{ObjectBuilder, Value};
 use std::sync::Arc;
 
@@ -308,6 +312,63 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The branch-and-bound pipeline searcher is an exact optimisation of
+    /// exhaustive enumeration: identical Pareto frontier, identical
+    /// minimal-volume winner (or identical infeasibility), and identical
+    /// winner again when the incumbent is seeded with an achievable bound —
+    /// over random unit sets (physical-only, logical-only, multi-output,
+    /// `first_round_only`), random search limits, and requirements spanning
+    /// trivially reachable to unreachable.
+    #[test]
+    fn pruned_search_equals_exhaustive(
+        units in arb_unit_set(),
+        profile in arb_profile(),
+        max_rounds in 1usize..4,
+        half_distance in 2u32..8,
+        required_exp in 1i32..26,
+    ) {
+        let (qubit, kind) = profile;
+        let scheme = QecScheme::resolve(kind, &qubit).unwrap();
+        let builder = TFactoryBuilder {
+            units,
+            max_rounds,
+            max_code_distance: 2 * half_distance + 1,
+        };
+        let required = 10f64.powi(-required_exp);
+
+        let frontier = builder.find_factories(&qubit, &scheme, required);
+        let reference = builder.find_factories_exhaustive(&qubit, &scheme, required);
+        prop_assert_eq!(&frontier, &reference, "Pareto frontier diverged");
+
+        let (pruned, _stats) =
+            builder.find_factory_with_stats(&qubit, &scheme, required, None);
+        let exhaustive = builder.find_factory_exhaustive(&qubit, &scheme, required);
+        match (pruned, exhaustive) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a, &b, "minimal-volume winner diverged");
+                // An achievable incumbent seed must not change the winner.
+                let (seeded, _) = builder.find_factory_with_stats(
+                    &qubit,
+                    &scheme,
+                    required,
+                    Some(a.volume()),
+                );
+                prop_assert_eq!(&seeded.unwrap(), &b, "seeded winner diverged");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "feasibility diverged: pruned ok={} exhaustive ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
+
+proptest! {
     // Each case runs a full sweep twice (sharded and unsharded); a handful
     // of cases over random axes is the coverage target, not volume.
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -347,6 +408,64 @@ proptest! {
             prop_assert_eq!(&m.outcome, &f.outcome);
         }
     }
+}
+
+/// One random distillation unit: integer-coefficient formulas in the paper's
+/// shape (`a·e_in + b·p` failure, `c·e_inᵖ + d·p` output), optional
+/// physical/logical specs (either may be absent), multi-output yields, and
+/// a random `first_round_only` flag. Names are assigned per set.
+fn arb_distillation_unit() -> impl Strategy<Value = DistillationUnit> {
+    (
+        (2u64..6, 50u64..400),         // failure: a·e_in + b·p
+        (5u64..40, 2u32..4, 1u64..12), // output: c·e_in^p + d·p
+        (4u64..16, 1u64..3),           // inputs consumed, outputs
+        // physical (qubits, cycles), sometimes absent
+        (any::<bool>(), 4u64..40, 5u64..50).prop_map(|(p, q, c)| p.then_some((q, c))),
+        // logical (qubits, cycles), sometimes absent
+        (any::<bool>(), 4u64..40, 2u64..20).prop_map(|(p, q, c)| p.then_some((q, c))),
+        any::<bool>(), // first_round_only
+    )
+        .prop_map(
+            |((fa, fb), (oc, op, od), (n_in, n_out), physical, logical, first)| DistillationUnit {
+                name: String::new(),
+                num_input_ts: n_in,
+                num_output_ts: n_out,
+                failure_probability: Formula::parse(&format!(
+                    "{fa} * inputErrorRate + {fb} * cliffordErrorRate"
+                ))
+                .unwrap(),
+                output_error_rate: Formula::parse(&format!(
+                    "{oc} * inputErrorRate ^ {op} + {od} * cliffordErrorRate"
+                ))
+                .unwrap(),
+                physical: physical.map(|(qubits, duration_cycles)| PhysicalUnitSpec {
+                    qubits,
+                    duration_cycles,
+                }),
+                logical: logical.map(
+                    |(logical_qubits, duration_logical_cycles)| LogicalUnitSpec {
+                        logical_qubits,
+                        duration_logical_cycles,
+                    },
+                ),
+                first_round_only: first,
+            },
+        )
+}
+
+/// Random unit sets for the search-equivalence law: usually one to three
+/// random units (distinct names assigned by position), sometimes the real
+/// built-in 15-to-1 family.
+fn arb_unit_set() -> impl Strategy<Value = Vec<DistillationUnit>> {
+    prop_oneof![
+        3 => prop::collection::vec(arb_distillation_unit(), 1..4).prop_map(|mut units| {
+            for (i, unit) in units.iter_mut().enumerate() {
+                unit.name = format!("unit-{i}");
+            }
+            units
+        }),
+        1 => Just(default_distillation_units()),
+    ]
 }
 
 /// Random multi-axis sweep specs over a compact value pool (so the shard

@@ -194,6 +194,29 @@ impl QecScheme {
         Ok(q.ceil() as u64)
     }
 
+    /// Precompute the per-distance logical-qubit parameters for every odd
+    /// distance `1, 3, … ≤ max_distance` on the given qubit model.
+    ///
+    /// Rows whose qubit-count or cycle-time formula is invalid at a
+    /// distance carry `None` in that field instead of failing the whole
+    /// table, mirroring how the pipeline search skips unrealisable
+    /// candidates one at a time.
+    pub fn distance_table(&self, qubit: &PhysicalQubit, max_distance: u32) -> DistanceTable {
+        let p = qubit.clifford_error_rate();
+        let mut rows = Vec::with_capacity((max_distance as usize).div_ceil(2));
+        let mut d = 1u32;
+        while d <= max_distance {
+            rows.push(DistanceRow {
+                code_distance: d,
+                logical_error_rate: self.logical_error_rate(p, d),
+                physical_qubits: self.physical_qubits_per_logical(d).ok(),
+                cycle_time_ns: self.logical_cycle_time_ns(qubit, d).ok(),
+            });
+            d += 2;
+        }
+        DistanceTable { rows }
+    }
+
     /// Construct the full logical-qubit description for a qubit model and a
     /// required per-qubit-per-cycle error rate.
     pub fn logical_qubit(
@@ -234,6 +257,54 @@ impl QecScheme {
             )
             .field("maxCodeDistance", u64::from(self.max_code_distance))
             .build()
+    }
+}
+
+/// Precomputed per-distance logical-qubit parameters of one (scheme, qubit
+/// model) pair: one [`DistanceRow`] per odd code distance up to the limit
+/// given to [`QecScheme::distance_table`].
+///
+/// The T-factory pipeline search evaluates `logical_error_rate`,
+/// `physical_qubits_per_logical`, and `logical_cycle_time_ns` for the same
+/// handful of distances thousands of times per search; this table evaluates
+/// each formula **once per distance** up front, so every candidate round
+/// costs an indexed lookup instead of two formula evaluations.
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    rows: Vec<DistanceRow>,
+}
+
+/// One row of a [`DistanceTable`]: the logical-qubit parameters at a single
+/// odd code distance.
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceRow {
+    /// The (odd) code distance this row describes.
+    pub code_distance: u32,
+    /// Logical failure rate per qubit per cycle ([`QecScheme::logical_error_rate`]).
+    pub logical_error_rate: f64,
+    /// Physical qubits per logical qubit, or `None` when the scheme's
+    /// formula is invalid at this distance (the same inputs
+    /// [`QecScheme::physical_qubits_per_logical`] rejects).
+    pub physical_qubits: Option<u64>,
+    /// Logical cycle time in ns, or `None` when the scheme's formula is
+    /// invalid at this distance.
+    pub cycle_time_ns: Option<f64>,
+}
+
+impl DistanceTable {
+    /// All rows, ordered by ascending odd code distance (1, 3, 5, …).
+    pub fn rows(&self) -> &[DistanceRow] {
+        &self.rows
+    }
+
+    /// The row for one odd code distance, if within the table's range.
+    pub fn row(&self, code_distance: u32) -> Option<&DistanceRow> {
+        if code_distance % 2 == 1 {
+            self.rows
+                .get((code_distance as usize).saturating_sub(1) / 2)
+        } else {
+            None
+        }
     }
 }
 
@@ -334,6 +405,26 @@ mod tests {
         assert_eq!(f.logical_cycle_time_ns(&qm, 15).unwrap(), 4500.0);
         // 4·225 + 8·14 = 1012.
         assert_eq!(f.physical_qubits_per_logical(15).unwrap(), 1012);
+    }
+
+    #[test]
+    fn distance_table_matches_direct_evaluation() {
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let table = s.distance_table(&q, 21);
+        assert_eq!(table.rows().len(), 11);
+        for row in table.rows() {
+            let d = row.code_distance;
+            assert_eq!(
+                row.logical_error_rate,
+                s.logical_error_rate(q.clifford_error_rate(), d)
+            );
+            assert_eq!(row.physical_qubits, s.physical_qubits_per_logical(d).ok());
+            assert_eq!(row.cycle_time_ns, s.logical_cycle_time_ns(&q, d).ok());
+            assert_eq!(table.row(d).map(|r| r.code_distance), Some(d));
+        }
+        assert!(table.row(2).is_none(), "even distances have no row");
+        assert!(table.row(23).is_none(), "beyond the table's range");
     }
 
     #[test]

@@ -28,12 +28,47 @@
 //! one minimising the space-time volume `physical_qubits × duration` (the
 //! qubit/runtime trade-off knob of Section IV-C.4 then trades along the kept
 //! Pareto frontier).
+//!
+//! ## Search strategy: branch and bound, not enumeration
+//!
+//! The candidate space — unit choice × execution level per round, over up to
+//! `max_rounds` rounds — is searched wave by wave (all prefixes of depth
+//! `k`, then depth `k + 1`), with three exact pruning devices layered on
+//! top; see `docs/ARCHITECTURE.md` ("Pipeline search") for the full rules
+//! and why each is lossless:
+//!
+//! * **Optimistic completion bounds.** Every prefix carries lower bounds on
+//!   the qubits, duration, and volume of *any* factory completing it.
+//!   [`TFactoryBuilder::find_factory`] keeps the best factory found so far
+//!   (the *incumbent*, optionally seeded from a neighbouring design via
+//!   [`TFactoryBuilder::find_factory_with_stats`]) and discards prefixes
+//!   whose bound cannot beat it; [`TFactoryBuilder::find_factories`]
+//!   discards prefixes whose every completion is already strictly dominated
+//!   by a found factory.
+//! * **Same-depth dominance.** Two prefixes with bit-identical output error
+//!   complete identically, so the one that is round-for-round no wider, no
+//!   slower, and no less productive — and strictly faster in total — makes
+//!   the other's completions redundant. This collapses the high-distance
+//!   tail where the logical-error contribution saturates below one ulp of
+//!   the input-error term.
+//! * **Memoized distance tables.** Per-(scheme, qubit model) tables
+//!   ([`crate::DistanceTable`]) precompute the logical error rate, qubits
+//!   per logical qubit, and cycle time for every odd distance once per
+//!   search instead of per candidate round.
+//!
+//! Both searches return byte-identical results to exhaustive enumeration,
+//! which is retained as [`TFactoryBuilder::find_factories_exhaustive`] /
+//! [`TFactoryBuilder::find_factory_exhaustive`] — the differential oracle
+//! for the `pruned_search_equals_exhaustive` property and the baseline the
+//! `tfactory_search` benches measure against. [`SearchStats`] counts what
+//! the pruning actually did.
 
 use crate::error::{Error, Result};
 use crate::physical_qubit::PhysicalQubit;
-use crate::qec::QecScheme;
+use crate::qec::{DistanceTable, QecScheme};
 use qre_expr::{Formula, Scope};
 use qre_json::{ObjectBuilder, Value};
+use std::cmp::Ordering;
 
 /// Physical-level execution parameters of a unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,6 +250,46 @@ impl TFactory {
     }
 }
 
+/// Counters describing what one pipeline search did (accumulated across
+/// searches by [`crate::FactoryCache`], reported by `--search-stats`).
+///
+/// The counters make the pruning observable rather than asserted: a search
+/// that expands few nodes and prunes many is doing its job; a search whose
+/// `nodes_pruned()` is zero on a deep pipeline is a regression.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate rounds evaluated (one unit-formula evaluation pair each).
+    pub nodes_expanded: u64,
+    /// Prefixes discarded because their optimistic completion bound could
+    /// not beat the incumbent (minimal-volume search) or was already
+    /// dominated by a found factory (frontier search).
+    pub nodes_pruned_bound: u64,
+    /// Prefixes discarded by the same-depth dominance rule.
+    pub nodes_pruned_dominated: u64,
+    /// Candidate evaluations whose QEC-scheme parameters were served from
+    /// the precomputed [`crate::DistanceTable`] instead of re-evaluating
+    /// the scheme's formulas.
+    pub memo_hits: u64,
+    /// Complete pipelines materialised into factories.
+    pub factories_realised: u64,
+}
+
+impl SearchStats {
+    /// Prefixes discarded by any pruning rule.
+    pub fn nodes_pruned(&self) -> u64 {
+        self.nodes_pruned_bound + self.nodes_pruned_dominated
+    }
+
+    /// Accumulate another search's counters into this one.
+    pub fn add(&mut self, other: &SearchStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.nodes_pruned_bound += other.nodes_pruned_bound;
+        self.nodes_pruned_dominated += other.nodes_pruned_dominated;
+        self.memo_hits += other.memo_hits;
+        self.factories_realised += other.factories_realised;
+    }
+}
+
 /// Search configuration for T-factory pipelines.
 #[derive(Debug, Clone)]
 pub struct TFactoryBuilder {
@@ -236,18 +311,410 @@ impl Default for TFactoryBuilder {
     }
 }
 
-/// A candidate round during search.
+/// A candidate round during the exhaustive reference search.
 #[derive(Debug, Clone, Copy)]
 struct RoundChoice {
     unit_index: usize,
     level: RoundLevel,
 }
 
+/// One candidate round with every input-error-independent quantity
+/// resolved up front (from the unit spec and the distance table), so that
+/// expanding a node costs two unit-formula evaluations and nothing else.
+#[derive(Debug, Clone, Copy)]
+struct ChoiceCtx {
+    unit_index: usize,
+    level: RoundLevel,
+    clifford_error: f64,
+    readout_error: f64,
+    qubits_per_unit: u64,
+    duration_ns: f64,
+    num_input_ts: u64,
+    num_output_ts: u64,
+}
+
+/// One evaluated round of a search prefix: the choice plus the (out, fail)
+/// values computed during the search, threaded into realisation so no round
+/// is ever evaluated twice.
+#[derive(Debug, Clone, Copy)]
+struct EvalRound {
+    unit_index: usize,
+    level: RoundLevel,
+    input_error: f64,
+    output_error: f64,
+    failure_probability: f64,
+    qubits_per_unit: u64,
+    duration_ns: f64,
+    num_input_ts: u64,
+    num_output_ts: u64,
+}
+
+impl EvalRound {
+    fn new(c: &ChoiceCtx, input_error: f64, output_error: f64, failure_probability: f64) -> Self {
+        EvalRound {
+            unit_index: c.unit_index,
+            level: c.level,
+            input_error,
+            output_error,
+            failure_probability,
+            qubits_per_unit: c.qubits_per_unit,
+            duration_ns: c.duration_ns,
+            num_input_ts: c.num_input_ts,
+            num_output_ts: c.num_output_ts,
+        }
+    }
+
+    /// Expected good T states per unit copy per run.
+    fn yield_per_unit(&self) -> f64 {
+        self.num_output_ts as f64 * (1.0 - self.failure_probability)
+    }
+}
+
+/// The cheapest possible contribution of the rounds a prefix still has to
+/// add before it can complete (minima over the non-first-round choices).
+#[derive(Debug, Clone, Copy)]
+struct CompletionFloor {
+    duration_ns: f64,
+    input_ts: u64,
+    qubits: u64,
+}
+
+/// A search prefix: evaluated rounds plus cached optimistic lower bounds on
+/// any completion's footprint, duration, and volume.
+#[derive(Debug, Clone)]
+struct Prefix {
+    rounds: Vec<EvalRound>,
+    output_error: f64,
+    duration_ns: f64,
+    qubits_lb: u64,
+    duration_lb: f64,
+    volume_lb: f64,
+}
+
+impl Prefix {
+    fn root(input_error: f64) -> Self {
+        Prefix {
+            rounds: Vec::new(),
+            output_error: input_error,
+            duration_ns: 0.0,
+            qubits_lb: 0,
+            duration_lb: 0.0,
+            volume_lb: 0.0,
+        }
+    }
+
+    /// Extend by one evaluated round, recomputing the completion bounds.
+    ///
+    /// The duration bound adds the cheapest possible further round; the
+    /// footprint bound runs the provisioning backward pass as if the
+    /// cheapest-demand unit followed (copies only grow as real suffixes
+    /// demand more), so both are true lower bounds over every completion.
+    fn extend(&self, round: EvalRound, floor: &CompletionFloor) -> Self {
+        let mut rounds = self.rounds.clone();
+        rounds.push(round);
+        let duration_ns = self.duration_ns + round.duration_ns;
+        let qubits_lb = footprint_lb(&rounds, floor.input_ts).max(floor.qubits);
+        let duration_lb = duration_ns + floor.duration_ns;
+        let volume_lb = qubits_lb as f64 * duration_lb;
+        Prefix {
+            rounds,
+            output_error: round.output_error,
+            duration_ns,
+            qubits_lb,
+            duration_lb,
+            volume_lb,
+        }
+    }
+}
+
+/// Footprint of `rounds` when the pipeline must deliver `needed_start`
+/// outputs from its last round — the exact provisioning backward pass of
+/// realisation, reused as a monotone lower bound (`needed_start = 1` gives
+/// the exact footprint of the rounds as a complete pipeline).
+fn footprint_lb(rounds: &[EvalRound], needed_start: u64) -> u64 {
+    let mut needed = needed_start;
+    let mut widest = 0u64;
+    for r in rounds.iter().rev() {
+        let copies = ((needed as f64 / r.yield_per_unit()).ceil() as u64).max(1);
+        widest = widest.max(copies * r.qubits_per_unit);
+        needed = copies * r.num_input_ts;
+    }
+    widest
+}
+
+fn distance_key(level: RoundLevel) -> u64 {
+    match level {
+        RoundLevel::Physical => 0,
+        RoundLevel::Logical { code_distance } => u64::from(code_distance),
+    }
+}
+
+/// Deterministic content order on realised rounds — the tie-breaker that
+/// makes frontier and minimal-volume selection independent of discovery
+/// order (fields compare in the same direction the dominance rule prunes,
+/// so a dominating prefix's completions also sort first).
+fn round_cmp(a: &FactoryRound, b: &FactoryRound) -> Ordering {
+    a.physical_qubits_per_unit
+        .cmp(&b.physical_qubits_per_unit)
+        .then_with(|| a.duration_ns.total_cmp(&b.duration_ns))
+        .then_with(|| distance_key(a.level).cmp(&distance_key(b.level)))
+        .then_with(|| a.copies.cmp(&b.copies))
+        .then_with(|| a.unit_name.cmp(&b.unit_name))
+        .then_with(|| a.output_error_rate.total_cmp(&b.output_error_rate))
+        .then_with(|| a.failure_probability.total_cmp(&b.failure_probability))
+        .then_with(|| a.input_error_rate.total_cmp(&b.input_error_rate))
+}
+
+/// Content tie-breaker across whole factories (used after the primary keys
+/// agree): shorter pipelines first, then round-by-round [`round_cmp`].
+fn tie_break_cmp(a: &TFactory, b: &TFactory) -> Ordering {
+    a.rounds.len().cmp(&b.rounds.len()).then_with(|| {
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            let ord = round_cmp(x, y);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    })
+}
+
+/// The total selection order of [`TFactoryBuilder::find_factory`]: minimal
+/// volume, then fewer qubits, then shorter duration, then content. Total
+/// and discovery-order independent, so pruned and exhaustive searches pick
+/// identical winners.
+fn canonical_cmp(a: &TFactory, b: &TFactory) -> Ordering {
+    a.volume()
+        .total_cmp(&b.volume())
+        .then_with(|| a.physical_qubits.cmp(&b.physical_qubits))
+        .then_with(|| a.duration_ns.total_cmp(&b.duration_ns))
+        .then_with(|| tie_break_cmp(a, b))
+}
+
+/// Mutable per-search state: the evaluation scope (reused across nodes so
+/// expansion is allocation-free) and the counters.
+struct SearchCtx<'a> {
+    units: &'a [DistillationUnit],
+    scope: Scope,
+    stats: SearchStats,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn new(units: &'a [DistillationUnit]) -> Self {
+        SearchCtx {
+            units,
+            scope: Scope::from_pairs([
+                ("inputErrorRate", 0.0),
+                ("cliffordErrorRate", 0.0),
+                ("readoutErrorRate", 0.0),
+            ]),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Evaluate one candidate round against an input error, with the same
+    /// validity window the exhaustive reference enforces. `None` = the
+    /// candidate is unusable at this input error.
+    fn eval(&mut self, input_error: f64, c: &ChoiceCtx) -> Option<(f64, f64)> {
+        self.stats.nodes_expanded += 1;
+        if matches!(c.level, RoundLevel::Logical { .. }) {
+            self.stats.memo_hits += 1;
+        }
+        self.scope.set("inputErrorRate", input_error);
+        self.scope.set("cliffordErrorRate", c.clifford_error);
+        self.scope.set("readoutErrorRate", c.readout_error);
+        let unit = &self.units[c.unit_index];
+        let fail = unit.failure_probability.eval(&self.scope).ok()?;
+        let out = unit.output_error_rate.eval(&self.scope).ok()?;
+        if !(0.0..1.0).contains(&fail) {
+            return None;
+        }
+        if !(out > 0.0 && out < 1.0) {
+            return None;
+        }
+        Some((out, fail))
+    }
+}
+
 impl TFactoryBuilder {
     /// Find every pipeline (up to `max_rounds`) whose output error meets
     /// `required`, reduced to the Pareto frontier over (qubits, duration).
     /// Sorted by ascending physical qubits (thus descending duration).
+    ///
+    /// Runs the pruned branch-and-bound search; the result is byte-identical
+    /// to [`TFactoryBuilder::find_factories_exhaustive`].
     pub fn find_factories(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> Vec<TFactory> {
+        self.find_factories_with_stats(qubit, scheme, required).0
+    }
+
+    /// [`TFactoryBuilder::find_factories`] plus the search counters.
+    pub fn find_factories_with_stats(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> (Vec<TFactory>, SearchStats) {
+        let input_error = qubit.t_gate_error;
+        let table = scheme.distance_table(qubit, self.max_code_distance);
+        let first = self.choice_ctxs(qubit, &table, true);
+        let later = self.choice_ctxs(qubit, &table, false);
+        let floor = completion_floor(&later);
+        let mut ctx = SearchCtx::new(&self.units);
+        let mut found: Vec<TFactory> = Vec::new();
+        let mut gen = vec![Prefix::root(input_error)];
+        for depth in 0..self.max_rounds {
+            if gen.is_empty() {
+                break;
+            }
+            let choices: &[ChoiceCtx] = if depth == 0 { &first } else { &later };
+            let deeper = depth + 1 < self.max_rounds && floor.is_some();
+            // Best-first within the wave: promising prefixes complete first,
+            // so the found set prunes the expensive tail sooner.
+            gen.sort_by(|a, b| a.volume_lb.total_cmp(&b.volume_lb));
+            let mut next: Vec<Prefix> = Vec::new();
+            for state in gen {
+                if depth > 0 && frontier_dominated(&found, state.qubits_lb, state.duration_lb) {
+                    ctx.stats.nodes_pruned_bound += 1;
+                    continue;
+                }
+                for c in choices {
+                    let Some((out, fail)) = ctx.eval(state.output_error, c) else {
+                        continue;
+                    };
+                    if out >= state.output_error {
+                        continue; // no progress: deeper rounds cannot help
+                    }
+                    let round = EvalRound::new(c, state.output_error, out, fail);
+                    if out <= required {
+                        ctx.stats.factories_realised += 1;
+                        found.push(realise_evals(
+                            &self.units,
+                            &state.rounds,
+                            round,
+                            input_error,
+                        ));
+                        // Deeper pipelines strictly add qubits and time.
+                    } else if deeper {
+                        let child = state.extend(round, floor.as_ref().expect("deeper"));
+                        if frontier_dominated(&found, child.qubits_lb, child.duration_lb) {
+                            ctx.stats.nodes_pruned_bound += 1;
+                        } else {
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            dominance_prune(&mut next, &mut ctx.stats);
+            gen = next;
+        }
+        (pareto(found), ctx.stats)
+    }
+
+    /// The default factory: minimal space-time volume among all valid
+    /// pipelines (ties broken toward fewer qubits, then shorter duration,
+    /// then pipeline content, so the winner is fully deterministic).
+    ///
+    /// Runs the incumbent-bounded branch-and-bound search; the result is
+    /// identical to [`TFactoryBuilder::find_factory_exhaustive`].
+    pub fn find_factory(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+    ) -> Result<TFactory> {
+        self.find_factory_with_stats(qubit, scheme, required, None)
+            .0
+    }
+
+    /// [`TFactoryBuilder::find_factory`] plus the search counters, with an
+    /// optional warm-start bound.
+    ///
+    /// `incumbent_volume` seeds the branch-and-bound incumbent: prefixes
+    /// whose optimistic completion volume exceeds it are pruned before any
+    /// factory has been found. The caller must guarantee the bound is
+    /// *achievable* — some valid pipeline for this exact problem has volume
+    /// ≤ the seed — which holds for the volume of any factory (for the same
+    /// builder, qubit model, and scheme) whose achieved output error meets
+    /// this `required`; see [`crate::FactoryCache`], which derives seeds
+    /// from completed neighbouring designs during sweeps. The result is
+    /// identical to the unseeded search.
+    pub fn find_factory_with_stats(
+        &self,
+        qubit: &PhysicalQubit,
+        scheme: &QecScheme,
+        required: f64,
+        incumbent_volume: Option<f64>,
+    ) -> (Result<TFactory>, SearchStats) {
+        let input_error = qubit.t_gate_error;
+        let table = scheme.distance_table(qubit, self.max_code_distance);
+        let first = self.choice_ctxs(qubit, &table, true);
+        let later = self.choice_ctxs(qubit, &table, false);
+        let floor = completion_floor(&later);
+        let mut ctx = SearchCtx::new(&self.units);
+        let mut incumbent: Option<TFactory> = None;
+        let mut bound = incumbent_volume.unwrap_or(f64::INFINITY);
+        let mut gen = vec![Prefix::root(input_error)];
+        for depth in 0..self.max_rounds {
+            if gen.is_empty() {
+                break;
+            }
+            let choices: &[ChoiceCtx] = if depth == 0 { &first } else { &later };
+            let deeper = depth + 1 < self.max_rounds && floor.is_some();
+            // Best-first within the wave: the incumbent tightens on the
+            // cheapest prefixes before the expensive tail is examined.
+            gen.sort_by(|a, b| a.volume_lb.total_cmp(&b.volume_lb));
+            let mut next: Vec<Prefix> = Vec::new();
+            for state in gen {
+                // Re-check against the bound: it may have tightened since
+                // this prefix was pushed.
+                if state.volume_lb > bound {
+                    ctx.stats.nodes_pruned_bound += 1;
+                    continue;
+                }
+                for c in choices {
+                    let Some((out, fail)) = ctx.eval(state.output_error, c) else {
+                        continue;
+                    };
+                    if out >= state.output_error {
+                        continue; // no progress: deeper rounds cannot help
+                    }
+                    let round = EvalRound::new(c, state.output_error, out, fail);
+                    if out <= required {
+                        ctx.stats.factories_realised += 1;
+                        let factory = realise_evals(&self.units, &state.rounds, round, input_error);
+                        if incumbent
+                            .as_ref()
+                            .is_none_or(|inc| canonical_cmp(&factory, inc) == Ordering::Less)
+                        {
+                            bound = bound.min(factory.volume());
+                            incumbent = Some(factory);
+                        }
+                    } else if deeper {
+                        let child = state.extend(round, floor.as_ref().expect("deeper"));
+                        if child.volume_lb > bound {
+                            ctx.stats.nodes_pruned_bound += 1;
+                        } else {
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            dominance_prune(&mut next, &mut ctx.stats);
+            gen = next;
+        }
+        (incumbent.ok_or(Error::NoTFactory { required }), ctx.stats)
+    }
+
+    /// The original exhaustive enumerator, retained as the differential
+    /// oracle for the pruned search (and as the cold baseline the
+    /// `tfactory_search` benches measure pruning against). Same contract as
+    /// [`TFactoryBuilder::find_factories`]; every result is byte-identical.
+    pub fn find_factories_exhaustive(
         &self,
         qubit: &PhysicalQubit,
         scheme: &QecScheme,
@@ -255,7 +722,7 @@ impl TFactoryBuilder {
     ) -> Vec<TFactory> {
         let mut found: Vec<TFactory> = Vec::new();
         let mut pipeline: Vec<RoundChoice> = Vec::new();
-        self.search(
+        self.search_exhaustive(
             qubit,
             scheme,
             required,
@@ -266,25 +733,74 @@ impl TFactoryBuilder {
         pareto(found)
     }
 
-    /// The default factory: minimal space-time volume among all valid
-    /// pipelines (ties broken toward fewer qubits).
-    pub fn find_factory(
+    /// Exhaustive counterpart of [`TFactoryBuilder::find_factory`]: selects
+    /// by the same canonical order over the fully enumerated frontier.
+    pub fn find_factory_exhaustive(
         &self,
         qubit: &PhysicalQubit,
         scheme: &QecScheme,
         required: f64,
     ) -> Result<TFactory> {
-        let all = self.find_factories(qubit, scheme, required);
-        all.into_iter()
-            .min_by(|a, b| {
-                (a.volume(), a.physical_qubits)
-                    .partial_cmp(&(b.volume(), b.physical_qubits))
-                    .expect("volumes are finite")
-            })
+        self.find_factories_exhaustive(qubit, scheme, required)
+            .into_iter()
+            .min_by(canonical_cmp)
             .ok_or(Error::NoTFactory { required })
     }
 
-    fn search(
+    /// Resolve every candidate round for the first (`first = true`) or a
+    /// later round against the distance table. Candidates whose qubit-count
+    /// or cycle-time formula is invalid are dropped here — exactly the
+    /// pipelines whose realisation the exhaustive search discards later.
+    fn choice_ctxs(
+        &self,
+        qubit: &PhysicalQubit,
+        table: &DistanceTable,
+        first: bool,
+    ) -> Vec<ChoiceCtx> {
+        let mut out = Vec::new();
+        for (unit_index, unit) in self.units.iter().enumerate() {
+            if !first && unit.first_round_only {
+                continue;
+            }
+            if first {
+                if let Some(spec) = &unit.physical {
+                    out.push(ChoiceCtx {
+                        unit_index,
+                        level: RoundLevel::Physical,
+                        clifford_error: qubit.clifford_error_rate(),
+                        readout_error: qubit.readout_error_rate(),
+                        qubits_per_unit: spec.qubits,
+                        duration_ns: spec.duration_cycles as f64 * qubit.physical_cycle_time_ns(),
+                        num_input_ts: unit.num_input_ts,
+                        num_output_ts: unit.num_output_ts,
+                    });
+                }
+            }
+            if let Some(spec) = &unit.logical {
+                for row in table.rows() {
+                    let (Some(qubits), Some(cycle_ns)) = (row.physical_qubits, row.cycle_time_ns)
+                    else {
+                        continue;
+                    };
+                    out.push(ChoiceCtx {
+                        unit_index,
+                        level: RoundLevel::Logical {
+                            code_distance: row.code_distance,
+                        },
+                        clifford_error: row.logical_error_rate,
+                        readout_error: row.logical_error_rate,
+                        qubits_per_unit: spec.logical_qubits * qubits,
+                        duration_ns: spec.duration_logical_cycles as f64 * cycle_ns,
+                        num_input_ts: unit.num_input_ts,
+                        num_output_ts: unit.num_output_ts,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn search_exhaustive(
         &self,
         qubit: &PhysicalQubit,
         scheme: &QecScheme,
@@ -327,7 +843,7 @@ impl TFactoryBuilder {
                     }
                     // Deeper pipelines strictly add qubits and time.
                 } else {
-                    self.search(qubit, scheme, required, out, pipeline, found);
+                    self.search_exhaustive(qubit, scheme, required, out, pipeline, found);
                 }
                 pipeline.pop();
             }
@@ -372,8 +888,8 @@ impl TFactoryBuilder {
         Ok((out, fail))
     }
 
-    /// Materialise a pipeline: error propagation, copy provisioning,
-    /// footprint and runtime.
+    /// Materialise a pipeline for the exhaustive reference: error
+    /// propagation, copy provisioning, footprint and runtime.
     fn realise(
         &self,
         qubit: &PhysicalQubit,
@@ -435,12 +951,9 @@ impl TFactoryBuilder {
         let duration_ns = rounds.iter().map(|r| r.duration_ns).sum();
         Ok(TFactory {
             output_error_rate: input_error,
-            output_t_states: rounds.last().map_or(0, |r| {
-                self.units
-                    .iter()
-                    .find(|u| u.name == r.unit_name)
-                    .map_or(1, |u| u.num_output_ts)
-            }),
+            output_t_states: pipeline
+                .last()
+                .map_or(1, |c| self.units[c.unit_index].num_output_ts),
             input_error_rate: qubit.t_gate_error,
             rounds,
             physical_qubits,
@@ -449,13 +962,148 @@ impl TFactoryBuilder {
     }
 }
 
+/// Materialise a pipeline from its evaluated rounds: only the provisioning
+/// backward pass runs here — the forward pass already happened during the
+/// search, and the last round's unit is known by index (no name scan).
+fn realise_evals(
+    units: &[DistillationUnit],
+    prefix: &[EvalRound],
+    last: EvalRound,
+    input_error_rate: f64,
+) -> TFactory {
+    let mut evals: Vec<EvalRound> = Vec::with_capacity(prefix.len() + 1);
+    evals.extend_from_slice(prefix);
+    evals.push(last);
+    let mut rounds: Vec<FactoryRound> = Vec::with_capacity(evals.len());
+    for e in &evals {
+        rounds.push(FactoryRound {
+            unit_name: units[e.unit_index].name.clone(),
+            level: e.level,
+            copies: 0, // filled by the backward pass
+            input_error_rate: e.input_error,
+            output_error_rate: e.output_error,
+            failure_probability: e.failure_probability,
+            physical_qubits_per_unit: e.qubits_per_unit,
+            duration_ns: e.duration_ns,
+        });
+    }
+
+    let mut needed_outputs = 1u64;
+    for (i, e) in evals.iter().enumerate().rev() {
+        let copies = (needed_outputs as f64 / e.yield_per_unit()).ceil() as u64;
+        rounds[i].copies = copies.max(1);
+        needed_outputs = rounds[i].copies * e.num_input_ts;
+    }
+
+    let physical_qubits = rounds
+        .iter()
+        .map(|r| r.copies * r.physical_qubits_per_unit)
+        .max()
+        .unwrap_or(0);
+    let duration_ns = rounds.iter().map(|r| r.duration_ns).sum();
+    TFactory {
+        output_error_rate: last.output_error,
+        output_t_states: last.num_output_ts,
+        input_error_rate,
+        rounds,
+        physical_qubits,
+        duration_ns,
+    }
+}
+
+fn completion_floor(later: &[ChoiceCtx]) -> Option<CompletionFloor> {
+    if later.is_empty() {
+        return None;
+    }
+    Some(CompletionFloor {
+        duration_ns: later
+            .iter()
+            .map(|c| c.duration_ns)
+            .fold(f64::INFINITY, f64::min),
+        input_ts: later
+            .iter()
+            .map(|c| c.num_input_ts)
+            .min()
+            .expect("non-empty"),
+        qubits: later
+            .iter()
+            .map(|c| c.qubits_per_unit)
+            .min()
+            .expect("non-empty"),
+    })
+}
+
+/// True when every completion of a prefix with these bounds is strictly
+/// dominated by an already-found factory — i.e. some found `f` beats the
+/// bounds with at least one strict inequality, so no completion can enter
+/// the Pareto frontier (or tie a frontier point's coordinates).
+fn frontier_dominated(found: &[TFactory], qubits_lb: u64, duration_lb: f64) -> bool {
+    found.iter().any(|f| {
+        (f.physical_qubits < qubits_lb && f.duration_ns <= duration_lb)
+            || (f.physical_qubits <= qubits_lb && f.duration_ns < duration_lb)
+    })
+}
+
+/// Drop same-depth prefixes whose completions another prefix provably
+/// renders redundant.
+///
+/// `a` dominates `b` when their output errors are bit-identical (so both
+/// complete with the very same suffixes) and, round for round with the
+/// same unit, `a` runs at no larger distance, no wider, no slower, with no
+/// worse per-copy yield — and strictly faster in total. Every completion
+/// of `b` is then matched by a completion of `a` that is no wider and
+/// strictly faster, so `b`'s completions can never appear in the exhaustive
+/// frontier or win minimal-volume selection.
+fn dominance_prune(gen: &mut Vec<Prefix>, stats: &mut SearchStats) {
+    if gen.len() < 2 {
+        return;
+    }
+    gen.sort_by(|a, b| {
+        a.output_error
+            .total_cmp(&b.output_error)
+            .then_with(|| a.volume_lb.total_cmp(&b.volume_lb))
+    });
+    let mut keep: Vec<Prefix> = Vec::with_capacity(gen.len());
+    let mut group_bits = 0u64;
+    let mut group_start = 0usize;
+    for state in gen.drain(..) {
+        let bits = state.output_error.to_bits();
+        if keep.len() == group_start || bits != group_bits {
+            group_bits = bits;
+            group_start = keep.len();
+        }
+        if keep[group_start..].iter().any(|a| dominates(a, &state)) {
+            stats.nodes_pruned_dominated += 1;
+        } else {
+            keep.push(state);
+        }
+    }
+    *gen = keep;
+}
+
+fn dominates(a: &Prefix, b: &Prefix) -> bool {
+    if a.duration_ns.partial_cmp(&b.duration_ns) != Some(Ordering::Less) {
+        return false; // the strict total-duration edge is what breaks ties
+    }
+    a.rounds.iter().zip(&b.rounds).all(|(x, y)| {
+        x.unit_index == y.unit_index
+            && distance_key(x.level) <= distance_key(y.level)
+            && x.qubits_per_unit <= y.qubits_per_unit
+            && x.duration_ns <= y.duration_ns
+            && x.yield_per_unit() >= y.yield_per_unit()
+    })
+}
+
 /// Reduce to the Pareto frontier over (physical qubits, duration), sorted by
-/// ascending qubits.
+/// ascending qubits. Exact-coordinate duplicates keep their canonically
+/// smallest representative ([`tie_break_cmp`]), never a discovery-order
+/// accident.
 fn pareto(mut factories: Vec<TFactory>) -> Vec<TFactory> {
     factories.sort_by(|a, b| {
-        (a.physical_qubits, a.duration_ns)
-            .partial_cmp(&(b.physical_qubits, b.duration_ns))
-            .expect("finite")
+        a.physical_qubits
+            .cmp(&b.physical_qubits)
+            .then_with(|| a.duration_ns.total_cmp(&b.duration_ns))
+            .then_with(|| tie_break_cmp(a, b))
     });
     let mut front: Vec<TFactory> = Vec::new();
     let mut best_duration = f64::INFINITY;
@@ -636,5 +1284,127 @@ mod tests {
             f.num_rounds()
         );
         assert!(v.get("outputErrorRate").unwrap().as_f64().unwrap() <= 1e-10);
+    }
+
+    /// The built-in profile/scheme pairs the paper sweeps.
+    fn paper_problems() -> Vec<(PhysicalQubit, QecScheme)> {
+        vec![
+            (PhysicalQubit::qubit_maj_ns_e4(), QecScheme::floquet_code()),
+            (
+                PhysicalQubit::qubit_gate_ns_e3(),
+                QecScheme::surface_code_gate_based(),
+            ),
+            (
+                PhysicalQubit::qubit_gate_ns_e4(),
+                QecScheme::surface_code_gate_based(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_on_paper_problems() {
+        let b = builder();
+        for (q, s) in paper_problems() {
+            for required in [1e-6, 1e-8, 1e-10, 7.2e-12, 1e-14, 1e-60] {
+                assert_eq!(
+                    b.find_factories(&q, &s, required),
+                    b.find_factories_exhaustive(&q, &s, required),
+                    "frontier diverged for {} at {required}",
+                    q.name
+                );
+                let pruned = b.find_factory(&q, &s, required);
+                let exhaustive = b.find_factory_exhaustive(&q, &s, required);
+                match (&pruned, &exhaustive) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "winner diverged at {required}"),
+                    (Err(Error::NoTFactory { .. }), Err(Error::NoTFactory { .. })) => {}
+                    other => panic!("outcome diverged at {required}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_fires_on_the_maj_e4_paper_configuration() {
+        // The acceptance pin for ISSUE 7: on the paper's Figure 3 search the
+        // bound and dominance rules must actually cut the tree, and the
+        // distance table must serve the logical candidates.
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let (factory, stats) = builder().find_factory_with_stats(&q, &s, 7.2e-12, None);
+        factory.expect("the paper configuration has a factory");
+        assert!(stats.nodes_expanded > 0);
+        assert!(
+            stats.nodes_pruned_bound > 0,
+            "incumbent bound never fired: {stats:?}"
+        );
+        assert!(
+            stats.nodes_pruned_dominated > 0,
+            "dominance rule never fired: {stats:?}"
+        );
+        assert!(stats.memo_hits > 0, "distance table unused: {stats:?}");
+        assert!(stats.factories_realised > 0);
+        assert_eq!(
+            stats.nodes_pruned(),
+            stats.nodes_pruned_bound + stats.nodes_pruned_dominated
+        );
+    }
+
+    #[test]
+    fn seeded_search_returns_the_unseeded_winner() {
+        let b = builder();
+        let q = PhysicalQubit::qubit_maj_ns_e4();
+        let s = QecScheme::floquet_code();
+        let (cold, cold_stats) = b.find_factory_with_stats(&q, &s, 7.2e-12, None);
+        let cold = cold.unwrap();
+        // Seeding with the optimum itself, or any achievable looser bound,
+        // must not change the winner — only the node count.
+        for seed in [cold.volume(), cold.volume() * 4.0] {
+            let (seeded, stats) = b.find_factory_with_stats(&q, &s, 7.2e-12, Some(seed));
+            assert_eq!(seeded.unwrap(), cold);
+            assert!(
+                stats.nodes_expanded <= cold_stats.nodes_expanded,
+                "a seed must never grow the tree: {} > {}",
+                stats.nodes_expanded,
+                cold_stats.nodes_expanded
+            );
+        }
+    }
+
+    #[test]
+    fn output_t_states_comes_from_the_last_round_unit() {
+        // A 4-to-2 finishing unit: the factory must report the last round's
+        // true output count (looked up by index, not by name scan).
+        let fail = Formula::parse("4 * inputErrorRate").unwrap();
+        let out = Formula::parse("9 * inputErrorRate ^ 2 + cliffordErrorRate").unwrap();
+        let unit = DistillationUnit {
+            name: "4-to-2 test".into(),
+            num_input_ts: 4,
+            num_output_ts: 2,
+            failure_probability: fail,
+            output_error_rate: out,
+            physical: Some(PhysicalUnitSpec {
+                qubits: 10,
+                duration_cycles: 8,
+            }),
+            logical: Some(LogicalUnitSpec {
+                logical_qubits: 10,
+                duration_logical_cycles: 4,
+            }),
+            first_round_only: false,
+        };
+        let b = TFactoryBuilder {
+            units: vec![unit],
+            max_rounds: 2,
+            max_code_distance: 15,
+        };
+        let q = PhysicalQubit::qubit_gate_ns_e4();
+        let s = QecScheme::surface_code_gate_based();
+        let f = b.find_factory(&q, &s, 1e-6).unwrap();
+        assert_eq!(f.output_t_states, 2);
+        assert_eq!(
+            f,
+            b.find_factory_exhaustive(&q, &s, 1e-6).unwrap(),
+            "reference enumerator agrees on the multi-output unit"
+        );
     }
 }

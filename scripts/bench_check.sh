@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Perf-regression guard: re-measure the branch-and-bound T-factory search
+# against the retained exhaustive enumerator, and the cold vs cache-warm
+# engine sweep, then fail if either speedup has regressed below the floors
+# committed in BENCH_engine.json (floors.search_speedup_min and
+# floors.cold_over_warm_min). The measurement itself lives in
+# crates/bench/src/bin/bench_check.rs — a plain Instant-median binary, so
+# it runs anywhere `cargo run` does. Run from the workspace root; CI runs
+# it after the quick-mode benches.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo run --release -p qre-bench --bin bench_check
