@@ -102,7 +102,8 @@ fn main() {
          \"warm_session_ns\": {warm_ns},\n    \
          \"cold_jobs_per_sec\": {:.2},\n    \
          \"warm_jobs_per_sec\": {:.2}\n  }},\n  \
-         \"speedup_persisted_warm_vs_cold_session\": {:.1}\n}}",
+         \"speedup_persisted_warm_vs_cold_session\": {:.1},\n  \
+         \"gate\": {{ \"floors\": {{ \"speedup_persisted_warm_vs_cold_session\": 2.0 }} }}\n}}",
         per_sec(cold_ns),
         per_sec(warm_ns),
         cold_ns as f64 / warm_ns as f64

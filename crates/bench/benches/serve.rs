@@ -85,7 +85,8 @@ fn main() {
          \"cold_process_ns\": {cold_ns},\n    \
          \"warm_jobs_per_sec\": {:.2},\n    \
          \"cold_jobs_per_sec\": {:.2}\n  }},\n  \
-         \"speedup_warm_server_vs_cold_process\": {:.1}\n}}",
+         \"speedup_warm_server_vs_cold_process\": {:.1},\n  \
+         \"gate\": {{ \"floors\": {{ \"speedup_warm_server_vs_cold_process\": 1.5 }} }}\n}}",
         per_sec(warm_ns),
         per_sec(cold_ns),
         cold_ns as f64 / warm_ns as f64

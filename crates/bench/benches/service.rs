@@ -169,7 +169,9 @@ fn main() {
          \"sample_ns\": {sample_ns},\n    \
          \"jobs_per_sec\": {jobs_per_sec:.2},\n    \
          \"p50_job_ns\": {p50},\n    \
-         \"p99_job_ns\": {p99}\n  }}\n}}"
+         \"p99_job_ns\": {p99}\n  }},\n  \
+         \"gate\": {{ \"floors\": {{ \"results.jobs_per_sec\": 1.0 }}, \
+         \"ceilings\": {{ \"results.p99_job_ns\": 30000000000 }} }}\n}}"
     );
     println!("{json}");
     match qre_bench::write_artifact("BENCH_service.json", &json) {

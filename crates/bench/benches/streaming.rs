@@ -84,7 +84,8 @@ fn main() {
          \"samples\": {samples},\n  \"items\": {items},\n  \"results\": {{\n    \
          \"first_streamed_ns\": {first_ns},\n    \"all_streamed_ns\": {all_ns},\n    \
          \"collect_ns\": {collect_ns}\n  }},\n  \
-         \"speedup_first_result_vs_collect\": {:.1}\n}}",
+         \"speedup_first_result_vs_collect\": {:.1},\n  \
+         \"gate\": {{ \"floors\": {{ \"speedup_first_result_vs_collect\": 1.5 }} }}\n}}",
         collect_ns as f64 / first_ns as f64
     );
     println!("{json}");

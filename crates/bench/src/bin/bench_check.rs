@@ -1,27 +1,51 @@
-//! Perf-regression guard for the two speedups committed in `BENCH_engine.json`.
+//! Perf-regression gate over every committed `BENCH_*.json` artifact, plus
+//! a live re-measurement of the two engine speedups.
 //!
-//! Re-measures, with plain `Instant` medians (no criterion, so it can run as
-//! an ordinary binary in CI):
+//! **Artifact gate.** Each committed artifact carries a `"gate"` object:
+//! `"floors"` maps dotted value paths to minima, `"ceilings"` to maxima
+//! (e.g. the peak-RSS bound of `BENCH_scale.json`). For every artifact the
+//! gate checks the committed values — so a regressed artifact cannot be
+//! committed without also moving its own gate — and, when a freshly
+//! regenerated counterpart exists in `target/experiments/` (CI runs the
+//! quick benches first), the fresh values too. A gated path missing from
+//! either document fails the gate: value shapes and their bounds move
+//! together or not at all.
+//!
+//! **Live re-measurement.** Re-measures, with plain `Instant` medians (no
+//! criterion, so it runs as an ordinary binary in CI):
 //!
 //! - **search speedup** — exhaustive pipeline enumeration vs. the
 //!   branch-and-bound search on the paper's maj_ns_e4 / Floquet problem at
 //!   the Figure 3 requirement (7.2e-12);
 //! - **cold/warm sweep speedup** — a fresh `Estimator` per sweep vs. one
-//!   whose factory cache was primed, over the six default hardware profiles.
+//!   whose factory cache was primed, over the six default hardware
+//!   profiles.
 //!
-//! Exits non-zero if either measured speedup falls below the committed floor
-//! (`floors.search_speedup_min` / `floors.cold_over_warm_min` in
-//! `BENCH_engine.json`). The floors are deliberately far below the medians
-//! recorded there: the guard exists to catch an accidental return to
-//! exhaustive-search cost, not to flag scheduler jitter on a busy CI box.
+//! Exits non-zero if either measured speedup falls below the committed
+//! floor (`floors.*` in `BENCH_engine.json`) or any artifact gate fails.
+//! All bounds sit deliberately far below the committed medians: the gate
+//! exists to catch structural regressions (losing the pruning, unbounding
+//! a buffer), not scheduler jitter on a busy CI box.
 //!
 //! Run with `cargo run --release -p qre-bench --bin bench_check`.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use qre_circuit::LogicalCounts;
 use qre_core::{Estimator, PhysicalQubit, QecScheme, SweepSpec, TFactoryBuilder};
+use qre_json::Value;
+
+/// Every committed perf artifact the gate covers.
+const ARTIFACTS: [&str; 6] = [
+    "BENCH_engine.json",
+    "BENCH_stream.json",
+    "BENCH_serve.json",
+    "BENCH_persist.json",
+    "BENCH_service.json",
+    "BENCH_scale.json",
+];
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -35,24 +59,110 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn committed_floors() -> Result<(f64, f64), String> {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("crates/bench sits two levels below the workspace root")
-        .join("BENCH_engine.json");
-    let text = std::fs::read_to_string(&path)
+}
+
+fn load_json(path: &PathBuf) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let doc = qre_json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    qre_json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Apply one artifact's committed `gate` to one value document, appending
+/// human-readable failure lines. Returns the number of bounds checked.
+fn check_gate(
+    name: &str,
+    source: &str,
+    gate: &Value,
+    values: &Value,
+    failures: &mut Vec<String>,
+) -> usize {
+    let mut checked = 0;
+    for (kind, is_floor) in [("floors", true), ("ceilings", false)] {
+        let Some(bounds) = gate.get(kind) else {
+            continue;
+        };
+        let Some(pairs) = bounds.as_object() else {
+            failures.push(format!("{name}: gate.{kind} must be an object"));
+            continue;
+        };
+        for (path, bound) in pairs {
+            let Some(bound) = bound.as_f64() else {
+                failures.push(format!("{name}: gate.{kind}.{path} is not a number"));
+                continue;
+            };
+            let op = if is_floor { ">=" } else { "<=" };
+            match values.get_path(path).and_then(Value::as_f64) {
+                None => failures.push(format!(
+                    "{name} ({source}): gated path `{path}` missing from the document"
+                )),
+                Some(v) if (is_floor && v < bound) || (!is_floor && v > bound) => failures.push(
+                    format!("{name} ({source}): {path} = {v} violates {op} {bound}"),
+                ),
+                Some(v) => {
+                    println!("  {name} ({source}): {path} {v} {op} {bound}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    checked
+}
+
+/// Gate every committed artifact (and its fresh counterpart, when one was
+/// just regenerated into `target/experiments/`). Returns accumulated
+/// failure lines; an artifact without a `gate` object is itself a failure
+/// so new artifacts cannot dodge the gate.
+fn gate_artifacts() -> Vec<String> {
+    let root = workspace_root();
+    let mut failures = Vec::new();
+    println!("bench_check: artifact gate");
+    for name in ARTIFACTS {
+        let committed = match load_json(&root.join(name)) {
+            Ok(doc) => doc,
+            Err(e) => {
+                failures.push(e);
+                continue;
+            }
+        };
+        let Some(gate) = committed.get("gate") else {
+            failures.push(format!("{name}: no `gate` object committed"));
+            continue;
+        };
+        if check_gate(name, "committed", gate, &committed, &mut failures) == 0 {
+            failures.push(format!("{name}: gate checks no bounds"));
+        }
+        let fresh_path = root.join("target").join("experiments").join(name);
+        if fresh_path.exists() {
+            match load_json(&fresh_path) {
+                Ok(fresh) => {
+                    check_gate(name, "fresh", gate, &fresh, &mut failures);
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    failures
+}
+
+fn committed_floors() -> Result<(f64, f64), String> {
+    let path = workspace_root().join("BENCH_engine.json");
+    let doc = load_json(&path)?;
     let floor = |key: &str| {
         doc.get_path(&format!("floors.{key}"))
-            .and_then(qre_json::Value::as_f64)
+            .and_then(Value::as_f64)
             .ok_or_else(|| format!("{}: missing floors.{key}", path.display()))
     };
     Ok((floor("search_speedup_min")?, floor("cold_over_warm_min")?))
 }
 
 fn main() -> ExitCode {
+    let gate_failures = gate_artifacts();
+
     let (search_floor, sweep_floor) = match committed_floors() {
         Ok(floors) => floors,
         Err(e) => {
@@ -127,6 +237,10 @@ fn main() -> ExitCode {
     println!("  speedup     {cold_over_warm:>12.1}x  (floor {sweep_floor}x)");
 
     let mut ok = true;
+    for failure in &gate_failures {
+        eprintln!("bench_check: FAIL {failure}");
+        ok = false;
+    }
     if search_speedup < search_floor {
         eprintln!(
             "bench_check: FAIL search speedup {search_speedup:.1}x below floor {search_floor}x"

@@ -68,10 +68,12 @@
 mod merge;
 mod net_serve;
 mod serve;
+mod stress;
 
 pub use merge::{merge_files, merge_shard_records, MergeSummary};
 pub use net_serve::{listen_serve, ListenSummary};
 pub use serve::{run_session, serve, ServeOptions, ServeShared, ServeSummary, SessionConfig};
+pub use stress::{stress_job_line, stress_spec, write_stress_jobs, StressShape, StressSummary};
 
 use std::io::Write;
 
@@ -270,6 +272,202 @@ pub fn run_submission_via(engine: &Estimator, submission: &Submission) -> Result
                 .field("estimateType", "sweep")
                 .field("items", Value::Array(items))
                 .build())
+        }
+    }
+}
+
+/// Most batch/sweep item results resident while [`write_submission_via`]
+/// emits a monolithic document.
+///
+/// This is the documented memory bound of the non-streamed delivery path:
+/// a 10k-item sweep document is *written* as one JSON value, but it is
+/// *executed* in chunks of at most this many items — each chunk's results
+/// are rendered, flushed into the output, and dropped before the next
+/// chunk runs — so resident results never scale with submission size.
+/// (The streamed paths are bounded separately and more tightly: the serve
+/// session engine and `"stream": true` delivery hold at most
+/// [`qre_par::streamed_buffer_bound`] undelivered results plus one
+/// in-flight item per worker.)
+pub const MONOLITHIC_CHUNK_ITEMS: usize = 512;
+
+/// Incremental writer for the monolithic `{..., "items": [...]}` document:
+/// emits the exact bytes of pretty/compact-printing the assembled value,
+/// one item at a time, so the document never has to exist in memory.
+struct ItemsDocWriter<'a> {
+    out: &'a mut dyn Write,
+    compact: bool,
+    total: usize,
+    written: usize,
+}
+
+impl<'a> ItemsDocWriter<'a> {
+    const IO: fn(std::io::Error) -> String = |e| format!("failed to write submission output: {e}");
+
+    /// Write the document head: the fixed leading fields plus the opening
+    /// of the `items` array sized for `total` entries.
+    fn open(
+        out: &'a mut dyn Write,
+        compact: bool,
+        head: &[(&str, &str)],
+        total: usize,
+    ) -> Result<Self, String> {
+        if compact {
+            write!(out, "{{").map_err(Self::IO)?;
+            for (k, v) in head {
+                write!(out, "\"{k}\":\"{v}\",").map_err(Self::IO)?;
+            }
+            write!(out, "\"items\":[").map_err(Self::IO)?;
+        } else {
+            writeln!(out, "{{").map_err(Self::IO)?;
+            for (k, v) in head {
+                writeln!(out, "  \"{k}\": \"{v}\",").map_err(Self::IO)?;
+            }
+            if total == 0 {
+                // The pretty printer renders an empty array compactly.
+                write!(out, "  \"items\": []").map_err(Self::IO)?;
+            } else {
+                writeln!(out, "  \"items\": [").map_err(Self::IO)?;
+            }
+        }
+        Ok(ItemsDocWriter {
+            out,
+            compact,
+            total,
+            written: 0,
+        })
+    }
+
+    fn item(&mut self, item: &Value) -> Result<(), String> {
+        self.written += 1;
+        if self.compact {
+            if self.written > 1 {
+                write!(self.out, ",").map_err(Self::IO)?;
+            }
+            write!(self.out, "{}", item.to_string_compact()).map_err(Self::IO)
+        } else {
+            let sep = if self.written < self.total { "," } else { "" };
+            writeln!(self.out, "    {}{sep}", item.to_string_pretty_indented(2)).map_err(Self::IO)
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.written != self.total {
+            return Err(format!(
+                "submission produced {} item(s), expected {}",
+                self.written, self.total
+            ));
+        }
+        if self.compact {
+            writeln!(self.out, "]}}").map_err(Self::IO)?;
+        } else if self.total == 0 {
+            writeln!(self.out, "\n}}").map_err(Self::IO)?;
+        } else {
+            writeln!(self.out, "  ]\n}}").map_err(Self::IO)?;
+        }
+        self.out.flush().map_err(Self::IO)
+    }
+}
+
+/// Write a submission's monolithic JSON document to `out` — byte-for-byte
+/// the pretty (or compact) rendering of [`run_submission_via`]'s value,
+/// plus a trailing newline — while executing batches and sweeps in bounded
+/// chunks of [`MONOLITHIC_CHUNK_ITEMS`] items.
+///
+/// This is the delivery path behind plain `qre <job.json>`: the document
+/// reaches the consumer as one JSON value, but at no point are more than a
+/// chunk's results resident, so a 10k-item non-streamed sweep costs the
+/// process a bounded amount of memory instead of the full result set.
+/// Chunking cannot change results: estimation is a pure function of each
+/// item's coordinates (the shared factory cache only accelerates repeats),
+/// so the chunked document is identical to the collected one.
+pub fn write_submission_via(
+    engine: &Estimator,
+    submission: &Submission,
+    out: &mut dyn Write,
+    compact: bool,
+) -> Result<(), String> {
+    write_submission_chunked(engine, submission, out, compact, MONOLITHIC_CHUNK_ITEMS)
+}
+
+/// [`write_submission_via`] with an explicit chunk size (tests shrink it to
+/// force multi-chunk execution on small submissions).
+fn write_submission_chunked(
+    engine: &Estimator,
+    submission: &Submission,
+    out: &mut dyn Write,
+    compact: bool,
+    chunk: usize,
+) -> Result<(), String> {
+    let chunk = chunk.max(1);
+    match &submission.kind {
+        SubmissionKind::Single(spec) => {
+            // One result: nothing to chunk.
+            let value = run_job_via(engine, spec)?;
+            let text = if compact {
+                value.to_string_compact()
+            } else {
+                value.to_string_pretty()
+            };
+            writeln!(out, "{text}").map_err(ItemsDocWriter::IO)?;
+            out.flush().map_err(ItemsDocWriter::IO)
+        }
+        SubmissionKind::Batch(jobs) => {
+            let mut doc = ItemsDocWriter::open(out, compact, &[("status", "success")], jobs.len())?;
+            for block in jobs.chunks(chunk) {
+                let items: Vec<Value> =
+                    qre_par::parallel_map(block, |spec| match run_job_via(engine, spec) {
+                        Ok(v) => v,
+                        Err(e) => ObjectBuilder::new()
+                            .field("status", "error")
+                            .field("message", e)
+                            .build(),
+                    });
+                for item in &items {
+                    doc.item(item)?;
+                }
+            }
+            doc.finish()
+        }
+        SubmissionKind::Sweep(spec) => {
+            let total = spec.len();
+            let head = [("status", "success"), ("estimateType", "sweep")];
+            if spec.shard.is_some() {
+                // An already-sharded spec *is* the caller's bounded block
+                // (the serve fan-out path); run it as one chunk.
+                let outcomes = engine.sweep(spec).map_err(|e| e.to_string())?;
+                let mut doc = ItemsDocWriter::open(out, compact, &head, total)?;
+                for o in &outcomes {
+                    doc.item(&sweep_item_json(o))?;
+                }
+                return doc.finish();
+            }
+            let blocks = total.div_ceil(chunk).max(1);
+            // Run the first block before emitting any output: expansion
+            // errors (an empty mandatory axis) are spec-global, so they
+            // either fail here — with stdout untouched, exactly like the
+            // collecting path — or nowhere.
+            let first = engine
+                .sweep(
+                    &spec
+                        .clone()
+                        .shard_of(0, blocks)
+                        .map_err(|e| e.to_string())?,
+                )
+                .map_err(|e| e.to_string())?;
+            let mut doc = ItemsDocWriter::open(out, compact, &head, total)?;
+            for o in &first {
+                doc.item(&sweep_item_json(o))?;
+            }
+            for i in 1..blocks {
+                let block = spec
+                    .clone()
+                    .shard_of(i, blocks)
+                    .map_err(|e| e.to_string())?;
+                for o in &engine.sweep(&block).map_err(|e| e.to_string())? {
+                    doc.item(&sweep_item_json(o))?;
+                }
+            }
+            doc.finish()
         }
     }
 }
@@ -1266,6 +1464,60 @@ mod tests {
         assert!(streamed.is_err());
         assert_eq!(streamed.unwrap_err(), collected.unwrap_err());
         assert!(bytes.is_empty(), "no partial output on a failed single job");
+    }
+
+    #[test]
+    fn chunked_monolithic_writer_is_byte_identical_to_collecting() {
+        // The chunk-flushed document writer must emit the exact bytes of
+        // pretty/compact-printing the collected value (plus the trailing
+        // newline the CLI adds) — with a chunk size small enough that this
+        // sweep and batch genuinely cross chunk boundaries.
+        let sweep = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 20, "tCount": 2000 } } ],
+            "errorBudgets": [ 1e-3, 1e-4 ]
+        } }"#;
+        let batch = r#"{ "items": [
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 10, "tCount": 100 } },
+              "errorBudget": 1e-60 },
+            { "algorithm": { "logicalCounts": { "numQubits": 20, "tCount": 300 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 12, "tCount": 500 } } },
+            { "algorithm": { "logicalCounts": { "numQubits": 14, "tCount": 700 } } }
+        ] }"#;
+        let single = r#"{ "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } } }"#;
+        for text in [sweep, batch, single] {
+            let submission = parse_submission(text).unwrap();
+            let engine = Estimator::new();
+            let collected = run_submission_via(&engine, &submission).unwrap();
+            for (compact, expected) in [
+                (false, format!("{}\n", collected.to_string_pretty())),
+                (true, format!("{}\n", collected.to_string_compact())),
+            ] {
+                let mut bytes = Vec::new();
+                write_submission_chunked(&engine, &submission, &mut bytes, compact, 2).unwrap();
+                assert_eq!(
+                    String::from_utf8(bytes).unwrap(),
+                    expected,
+                    "compact={compact} output diverges for {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_writer_failures_leave_stdout_untouched() {
+        // A sweep whose expansion fails must produce no partial document,
+        // exactly like the collecting path.
+        let spec = SweepSpec::new().profile(PhysicalQubit::qubit_gate_ns_e3());
+        let submission = Submission {
+            stream: false,
+            kind: SubmissionKind::Sweep(Box::new(spec)),
+        };
+        let engine = Estimator::new();
+        let mut bytes = Vec::new();
+        let err = write_submission_via(&engine, &submission, &mut bytes, false).unwrap_err();
+        assert!(err.contains("workload"), "{err}");
+        assert!(bytes.is_empty(), "no partial output on a failed sweep");
     }
 
     #[test]

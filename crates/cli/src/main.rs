@@ -13,6 +13,9 @@
 //!                           is its own session over one shared design store
 //! qre merge <shard.ndjson>...
 //!                           join shard output files into one sweep
+//! qre stress --points N [--shards K] [--stream]
+//!                           emit the deterministic scale-test sweep as
+//!                           NDJSON job lines (pipe into `qre serve`)
 //! qre --help                usage
 //! ```
 //!
@@ -36,6 +39,7 @@ fn usage() -> &'static str {
      \x20           [--search-stats]\n\
      \x20 qre serve --listen ADDR [--max-conns N] [--per-conn K] [common flags]\n\
      \x20 qre merge <shard.ndjson>...\n\
+     \x20 qre stress --points N [--shards K] [--stream]\n\
      \n\
      The job file is a JSON specification; see the qre-cli crate docs for the\n\
      schema. `-` reads the job from stdin. Output is pretty-printed JSON by\n\
@@ -79,7 +83,16 @@ fn usage() -> &'static str {
      `qre merge` joins the NDJSON output files of sharded sweep sessions:\n\
      item records are re-sorted by their global sweep index and written to\n\
      stdout, per-shard \"stats\" records are dropped, and the merge fails\n\
-     unless the shards cover the sweep exactly (no gaps, no duplicates).\n"
+     unless the shards cover the sweep exactly (no gaps, no duplicates).\n\
+     \n\
+     `qre stress` prints the deterministic scale-test sweep matrix\n\
+     (workloads x the six default profiles x error budgets) as NDJSON job\n\
+     lines — the matrix behind BENCH_scale.json and the QRE_SOAK suites.\n\
+     \x20 --points N        minimum sweep items (rounded up to whole\n\
+     \x20                   workload rows of 84; default 10000 -> 10080)\n\
+     \x20 --shards K        emit K shard job lines (serve input) instead of\n\
+     \x20                   one unsharded submission\n\
+     \x20 --stream          add \"stream\": true for one-shot NDJSON delivery\n"
 }
 
 fn serve_main(args: &[String]) -> ExitCode {
@@ -286,11 +299,65 @@ fn merge_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn stress_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let mut points: usize = 10_000;
+    let mut shards: Option<usize> = None;
+    let mut stream = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--points" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => points = n,
+                _ => {
+                    eprintln!("--points requires an integer of at least 1\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards requires an integer of at least 1\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stream" => stream = true,
+            other => {
+                eprintln!("unexpected stress argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match qre_cli::write_stress_jobs(points, shards, stream, &mut out) {
+        Ok(summary) => {
+            eprintln!(
+                "stress: {} sweep item(s) ({} workload(s) x {} profile(s) x {} budget(s)), {} job line(s)",
+                summary.shape.len(),
+                summary.shape.workloads,
+                summary.shape.profiles,
+                summary.shape.budgets,
+                summary.lines
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stress failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => return serve_main(&args[1..]),
         Some("merge") => return merge_main(&args[1..]),
+        Some("stress") => return stress_main(&args[1..]),
         _ => {}
     }
     let mut report = false;
@@ -387,14 +454,16 @@ fn main() -> ExitCode {
             }
         }
     } else {
+        // Chunk-flushed monolithic delivery: the document is one JSON
+        // value, but batches and sweeps execute in bounded chunks
+        // (qre_cli::MONOLITHIC_CHUNK_ITEMS results resident at most), so a
+        // 10k-item sweep never holds its full result set.
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
         let engine = qre_core::Estimator::new();
-        match qre_cli::run_submission_via(&engine, &submission) {
-            Ok(value) => {
-                if compact {
-                    println!("{}", value.to_string_compact());
-                } else {
-                    println!("{}", value.to_string_pretty());
-                }
+        match qre_cli::write_submission_via(&engine, &submission, &mut out, compact) {
+            Ok(()) => {
+                drop(out);
                 print_search_stats(search_stats, &engine);
                 ExitCode::SUCCESS
             }

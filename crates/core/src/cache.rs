@@ -1181,6 +1181,173 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_scoped_views_at_cap_account_exactly() {
+        // The serve shape under deliberate cache pressure: several scoped
+        // views (one per "job") hammer a store whose capacity is smaller
+        // than the shared working set, so every round churns evictions.
+        // The accounting must stay exact anyway: the capacity bound holds
+        // at every observation, per-view hits+misses tally every lookup,
+        // and the store-level eviction count equals populating inserts
+        // minus surviving entries.
+        let (b, q, s) = problem();
+        let base = FactoryCache::with_capacity(4);
+        let keys = 8usize;
+        let rounds = 3usize;
+        let threads = 4usize;
+        let view_stats: Vec<CacheStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let view = base.scoped();
+                    let b = &b;
+                    let q = &q;
+                    let s = &s;
+                    scope.spawn(move || {
+                        for r in 0..rounds {
+                            for k in 0..keys {
+                                // Offset the walk per thread so views
+                                // genuinely interleave different keys.
+                                let key = (k + t * 3 + r) % keys;
+                                let _ = view.find_factory(b, q, s, requirement(key));
+                                assert!(
+                                    view.stats().entries <= 4,
+                                    "capacity bound violated mid-churn"
+                                );
+                            }
+                        }
+                        view.stats()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let lookups: u64 = (threads * rounds * keys) as u64;
+        let view_hits: u64 = view_stats.iter().map(|v| v.hits).sum();
+        let view_misses: u64 = view_stats.iter().map(|v| v.misses).sum();
+        assert_eq!(
+            view_hits + view_misses,
+            lookups,
+            "every lookup is exactly one hit or one miss in its view"
+        );
+        let store = base.stats();
+        assert_eq!((store.hits, store.misses), (0, 0), "base view ran nothing");
+        assert_eq!(store.capacity, Some(4));
+        assert!(store.entries <= 4);
+        assert!(
+            store.evictions > 0,
+            "working set of 8 over cap 4 must churn"
+        );
+        // Every counted miss inserted exactly one fresh key; every eviction
+        // removed exactly one. What survives is the difference.
+        assert_eq!(
+            store.entries as u64,
+            view_misses - store.evictions,
+            "inserts - evictions != surviving entries"
+        );
+    }
+
+    #[test]
+    fn eviction_churn_recomputes_designs_identically_across_views() {
+        // Interleaved scoped views over a cap-2 store with 5 live keys:
+        // designs are constantly evicted and re-searched, but every view
+        // must see the same design for the same key every time.
+        let (b, q, s) = problem();
+        let base = FactoryCache::with_capacity(2);
+        let cold: Vec<TFactory> = (0..5)
+            .map(|k| b.find_factory(&q, &s, requirement(k)).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let view = base.scoped();
+                let b = &b;
+                let q = &q;
+                let s = &s;
+                let cold = &cold;
+                scope.spawn(move || {
+                    for r in 0..3 {
+                        for k in 0..5 {
+                            let key = (k + t + r) % 5;
+                            let design = view.find_factory(b, q, s, requirement(key)).unwrap();
+                            assert_eq!(
+                                design, cold[key],
+                                "churned design for key {key} diverged from cold search"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert!(base.stats().evictions >= 5, "cap 2 under 5 keys must churn");
+    }
+
+    #[test]
+    fn snapshot_save_races_eviction_churn() {
+        // A periodic saver (the serve --save-every flow) racing insert +
+        // eviction churn: every snapshot it writes must be internally
+        // consistent — atomic on disk, loadable into a fresh cache, and
+        // never larger than the capacity bound, because snapshot() sees
+        // the store only between (locked) insert-evict steps.
+        let (b, q, s) = problem();
+        let base = FactoryCache::with_capacity(3);
+        // Pre-populate one entry so even a saver that only gets scheduled
+        // after the churner finished observes a non-empty store.
+        base.scoped()
+            .find_factory(&b, &q, &s, requirement(0))
+            .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "qre-cache-race-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::thread::scope(|scope| {
+            let churner = {
+                let view = base.scoped();
+                let b = &b;
+                let q = &q;
+                let s = &s;
+                scope.spawn(move || {
+                    for r in 0..4 {
+                        for k in 0..6 {
+                            let _ = view.find_factory(b, q, s, requirement((k + r) % 6));
+                        }
+                    }
+                })
+            };
+            let saver = {
+                let view = base.scoped();
+                let path = path.clone();
+                scope.spawn(move || {
+                    let mut max_saved = 0usize;
+                    let mut last_pass = false;
+                    // Always run at least one pass, and one final pass after
+                    // the churner has finished, so a late-scheduled saver
+                    // still exercises save + reload at least twice.
+                    while !last_pass {
+                        last_pass = churner.is_finished();
+                        let saved = view.save(&path).expect("save during churn");
+                        assert!(saved <= 3, "snapshot larger than the capacity bound");
+                        max_saved = max_saved.max(saved);
+                        let fresh = FactoryCache::new();
+                        let retained = fresh.load(&path).expect("saved snapshot must load");
+                        assert_eq!(retained, saved, "snapshot lost entries on disk");
+                        assert_eq!(fresh.stats().entries, retained);
+                    }
+                    max_saved
+                })
+            };
+            let max_saved = saver.join().unwrap();
+            // The churner kept at least filling the store, so at least one
+            // mid-churn snapshot observed a non-empty state.
+            assert!(max_saved > 0, "saver never observed a populated store");
+        });
+        // One final save after the dust settles still round-trips.
+        let saved = base.save(&path).unwrap();
+        let fresh = FactoryCache::new();
+        assert_eq!(fresh.load(&path).unwrap(), saved);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn family_staircase_keeps_only_useful_seed_points() {
         let mut store = Store::default();
         let fam = FactoryKey {

@@ -421,6 +421,43 @@ pub fn cartesian3<A: Clone, B: Clone, C: Clone>(xs: &[A], ys: &[B], zs: &[C]) ->
     out
 }
 
+/// Parse one `kB` line of `/proc/self/status` (e.g. `VmHWM:  123456 kB`)
+/// into bytes.
+fn proc_status_kb(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix(field))
+        .and_then(|rest| {
+            rest.trim()
+                .strip_suffix("kB")
+                .unwrap_or(rest)
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|kb| kb * 1024)
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+///
+/// This is the process-lifetime high-water mark, not the current RSS — the
+/// quantity a scale bench records to prove a 10k-point run stayed within
+/// its memory budget. The kernel accounts it per process, so it covers
+/// every thread and allocation, including ones the allocator has since
+/// returned to the OS.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    proc_status_kb(&status, "VmHWM:")
+}
+
+/// Current resident set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn current_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    proc_status_kb(&status, "VmRSS:")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -746,5 +783,19 @@ mod tests {
         assert_eq!(result, expected);
         // Back on the outer thread, parallelism is available again.
         assert!(!IN_PARALLEL_WORKER.with(std::cell::Cell::get));
+    }
+
+    #[test]
+    fn proc_status_parsing_and_rss_sanity() {
+        let status = "Name:\tqre\nVmHWM:\t  123456 kB\nVmRSS:\t    1024 kB\n";
+        assert_eq!(proc_status_kb(status, "VmHWM:"), Some(123_456 * 1024));
+        assert_eq!(proc_status_kb(status, "VmRSS:"), Some(1024 * 1024));
+        assert_eq!(proc_status_kb(status, "VmPeak:"), None);
+        // On Linux both readers must produce consistent, non-zero values:
+        // the high-water mark can never undercut the current RSS.
+        if let (Some(peak), Some(now)) = (peak_rss_bytes(), current_rss_bytes()) {
+            assert!(now > 0);
+            assert!(peak >= now, "VmHWM {peak} < VmRSS {now}");
+        }
     }
 }

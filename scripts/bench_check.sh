@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Perf-regression guard: re-measure the branch-and-bound T-factory search
-# against the retained exhaustive enumerator, and the cold vs cache-warm
-# engine sweep, then fail if either speedup has regressed below the floors
-# committed in BENCH_engine.json (floors.search_speedup_min and
-# floors.cold_over_warm_min). The measurement itself lives in
-# crates/bench/src/bin/bench_check.rs — a plain Instant-median binary, so
-# it runs anywhere `cargo run` does. Run from the workspace root; CI runs
-# it after the quick-mode benches.
+# Perf-regression gate over every committed BENCH_*.json artifact
+# (engine, stream, serve, persist, service, scale): each carries a "gate"
+# object of floors/ceilings over dotted value paths, enforced against the
+# committed values and against any freshly regenerated counterpart in
+# target/experiments/ (CI runs the quick benches first, so a regressed
+# fresh artifact fails here). On top of the artifact gate the binary
+# re-measures the branch-and-bound T-factory search against the retained
+# exhaustive enumerator and the cold vs cache-warm engine sweep, failing
+# if either speedup drops below BENCH_engine.json's floors.* thresholds.
+# The measurement itself lives in crates/bench/src/bin/bench_check.rs — a
+# plain Instant-median binary, so it runs anywhere `cargo run` does. Run
+# from the workspace root; CI runs it after the quick-mode benches.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
