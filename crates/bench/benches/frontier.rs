@@ -1,0 +1,118 @@
+//! Fixed-partition vs. searched-partition frontier: cost and payoff of the
+//! two-axis (error-budget split × factory cap) trade-off search.
+//!
+//! The default even-thirds budget partition charges a third of the total
+//! error budget to rotation synthesis; the paper's multiplication workloads
+//! are rotation-free, so that third is simply wasted. This harness runs the
+//! qubit/runtime frontier for windowed 512-bit multiplication on the
+//! gate_ns_e3 / surface-code profile at a 1e-3 total budget twice —
+//!
+//! * **fixed** (`fixed_frontier_ns`) — `Estimator::frontier`, the
+//!   factory-cap axis only, even-thirds partition, and
+//! * **searched** (`searched_frontier_ns`) — `Estimator::frontier_searched`
+//!   over the default nine-ratio partition grid crossed with the union of
+//!   per-partition cap ladders,
+//!
+//! each on a fresh engine so both searches pay their own factory-design
+//! cost. Besides median wall times, the run records the **deterministic**
+//! frontier-quality improvements: best-point physical qubits and best-point
+//! runtime, fixed over searched (≥ 1 by the weak-dominance law; > 1 here
+//! because the grid reclaims the synthesis slice). Those ratios are the
+//! gated values in `BENCH_frontier.json` — timings vary with the machine,
+//! the improvement floors do not. `QRE_BENCH_SAMPLES` / `QRE_BENCH_QUICK`
+//! cap the sample count for quick CI runs.
+//!
+//! ```text
+//! cargo bench -p qre-bench --bench frontier
+//! ```
+
+use std::time::Instant;
+
+use qre_arith::{multiplication_counts, MulAlgorithm};
+use qre_core::{
+    EstimateRequest, Estimator, FrontierPoint, HardwareProfile, PartitionSearch, QecSchemeKind,
+};
+
+const DEFAULT_SAMPLES: usize = 5;
+
+fn request() -> EstimateRequest {
+    EstimateRequest::builder()
+        .counts(multiplication_counts(MulAlgorithm::Windowed, 512))
+        .profile(HardwareProfile::qubit_gate_ns_e3())
+        .qec(QecSchemeKind::SurfaceCode)
+        .total_error_budget(1e-3)
+        .build()
+        .expect("the benchmark scenario is valid")
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Best (minimum) value of one objective over a frontier.
+fn best<T: PartialOrd + Copy>(points: &[FrontierPoint], f: impl Fn(&FrontierPoint) -> T) -> T {
+    points
+        .iter()
+        .map(f)
+        .reduce(|a, b| if b < a { b } else { a })
+        .expect("frontiers are non-empty")
+}
+
+fn main() {
+    let samples = criterion::env_samples(DEFAULT_SAMPLES);
+    let request = request();
+    let search = PartitionSearch::default();
+
+    let mut fixed_ns: Vec<u128> = Vec::with_capacity(samples);
+    let mut searched_ns: Vec<u128> = Vec::with_capacity(samples);
+    let mut fixed = Vec::new();
+    let mut searched = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        fixed = Estimator::new().frontier(&request).expect("fixed frontier");
+        fixed_ns.push(start.elapsed().as_nanos());
+
+        let start = Instant::now();
+        searched = Estimator::new()
+            .frontier_searched(&request, &search)
+            .expect("searched frontier");
+        searched_ns.push(start.elapsed().as_nanos());
+    }
+
+    // The deterministic payoff: best point per objective, fixed / searched.
+    let fixed_min_qubits = best(&fixed, |p| p.result.physical_counts.physical_qubits);
+    let searched_min_qubits = best(&searched, |p| p.result.physical_counts.physical_qubits);
+    let fixed_min_runtime = best(&fixed, |p| p.result.physical_counts.runtime_ns);
+    let searched_min_runtime = best(&searched, |p| p.result.physical_counts.runtime_ns);
+    let qubit_improvement = fixed_min_qubits as f64 / searched_min_qubits as f64;
+    let runtime_improvement = fixed_min_runtime / searched_min_runtime;
+
+    let fixed_ns = median(fixed_ns);
+    let searched_ns = median(searched_ns);
+    let json = format!(
+        "{{\n  \"benchmark\": \"frontier_fixed_vs_searched_partition\",\n  \
+         \"scenario\": \"windowed/512 on qubit_gate_ns_e3 (surface_code), total budget 1e-3\",\n  \
+         \"samples\": {samples},\n  \"results\": {{\n    \
+         \"fixed_frontier_ns\": {fixed_ns},\n    \
+         \"searched_frontier_ns\": {searched_ns},\n    \
+         \"fixed_points\": {},\n    \
+         \"searched_points\": {},\n    \
+         \"fixed_min_qubits\": {fixed_min_qubits},\n    \
+         \"searched_min_qubits\": {searched_min_qubits},\n    \
+         \"fixed_min_runtime_ns\": {fixed_min_runtime},\n    \
+         \"searched_min_runtime_ns\": {searched_min_runtime}\n  }},\n  \
+         \"improvement_searched_vs_fixed_min_qubits\": {qubit_improvement:.4},\n  \
+         \"improvement_searched_vs_fixed_min_runtime\": {runtime_improvement:.4},\n  \
+         \"gate\": {{ \"floors\": {{\n    \
+         \"improvement_searched_vs_fixed_min_qubits\": 1.1,\n    \
+         \"improvement_searched_vs_fixed_min_runtime\": 1.05\n  }} }}\n}}",
+        fixed.len(),
+        searched.len(),
+    );
+    println!("{json}");
+    match qre_bench::write_artifact("BENCH_frontier.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

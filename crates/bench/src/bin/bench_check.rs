@@ -38,13 +38,14 @@ use qre_core::{Estimator, PhysicalQubit, QecScheme, SweepSpec, TFactoryBuilder};
 use qre_json::Value;
 
 /// Every committed perf artifact the gate covers.
-const ARTIFACTS: [&str; 6] = [
+const ARTIFACTS: [&str; 7] = [
     "BENCH_engine.json",
     "BENCH_stream.json",
     "BENCH_serve.json",
     "BENCH_persist.json",
     "BENCH_service.json",
     "BENCH_scale.json",
+    "BENCH_frontier.json",
 ];
 
 /// Median wall time of `iters` runs of `f`, in nanoseconds.

@@ -20,7 +20,12 @@
 //! Algorithms can be given as logical counts (Section IV-B.3), inline
 //! QIR-lite text (Section IV-B.2), or a built-in multiplication workload
 //! (Section V). Hardware profiles are the six defaults, optionally with
-//! field overrides. `estimateType` is `"single"` (default) or `"frontier"`.
+//! field overrides. `errorBudget` is a total (split into even thirds) or an
+//! explicit partition object `{"logical": ..., "tStates": ...,
+//! "rotations": ...}`. `estimateType` is `"single"` (default) or
+//! `"frontier"`; frontier jobs may add `"searchBudgetPartition": true` to
+//! search the error-budget split alongside the factory-count cap (each
+//! frontier point then reports the partition that produced it).
 //!
 //! Beyond single jobs, a submission can be a **batch** (`{"items": [job,
 //! ...]}`, the service's job arrays) or a **sweep** declaring axes whose
@@ -80,8 +85,8 @@ use std::io::Write;
 use qre_arith::MulAlgorithm;
 use qre_circuit::{qir, LogicalCounts};
 use qre_core::{
-    Constraints, ErrorBudget, EstimationJob, EstimationJobBuilder, Estimator, PhysicalQubit,
-    QecSchemeKind, SweepScheme, SweepSpec,
+    Constraints, ErrorBudget, EstimationJob, EstimationJobBuilder, Estimator, FrontierPoint,
+    PartitionSearch, PhysicalQubit, QecSchemeKind, SweepScheme, SweepSpec,
 };
 use qre_json::{ObjectBuilder, Value};
 
@@ -92,6 +97,10 @@ pub struct JobSpec {
     pub job: EstimationJob,
     /// Whether to produce a frontier instead of a single estimate.
     pub frontier: bool,
+    /// Whether the frontier also searches the error-budget partition
+    /// (`"searchBudgetPartition": true`): the default
+    /// [`PartitionSearch`] grid is crossed with the factory-cap axis.
+    pub search_partition: bool,
 }
 
 /// A parsed submission: its payload plus delivery options.
@@ -546,7 +555,9 @@ impl<'a> NdjsonSink<'a> {
 /// monolithic document, and batch records are those entries plus an
 /// `index` field; failing batch/sweep items report their error in place. A
 /// failing *single* job returns `Err`, exactly as in [`run_submission`],
-/// so exit codes do not depend on the delivery mode.
+/// so exit codes do not depend on the delivery mode. A streamed *frontier*
+/// job emits one record per Pareto point (the monolithic document's
+/// `frontier` entries plus an `index` field) instead of one document.
 pub fn run_submission_streamed(submission: &Submission, out: &mut dyn Write) -> Result<(), String> {
     run_submission_streamed_via(&Estimator::new(), submission, out)
 }
@@ -559,6 +570,20 @@ pub fn run_submission_streamed_via(
     out: &mut dyn Write,
 ) -> Result<(), String> {
     match &submission.kind {
+        SubmissionKind::Single(spec) if spec.frontier => {
+            // A streamed frontier delivers one NDJSON record per Pareto
+            // point, in frontier order (descending qubits), each carrying
+            // its `index`, cap, partition, and full result.
+            let points = run_frontier_points_via(engine, spec)?;
+            let mut sink = NdjsonSink::new(out, points.len());
+            for (i, p) in points.iter().enumerate() {
+                sink.record(&frontier_point_json(i, p));
+                if sink.failed() {
+                    break;
+                }
+            }
+            sink.finish()
+        }
         SubmissionKind::Single(spec) => {
             let record = run_job_via(engine, spec)?;
             let mut sink = NdjsonSink::new(out, 1);
@@ -623,6 +648,7 @@ const JOB_FIELDS: &[&str] = &[
     "errorBudget",
     "constraints",
     "estimateType",
+    "searchBudgetPartition",
     "stream",
 ];
 
@@ -654,23 +680,8 @@ pub fn parse_job_value(doc: &Value) -> Result<JobSpec, String> {
     builder = match doc.get("errorBudget") {
         None => builder.total_error_budget(1e-3),
         Some(v) => {
-            if let Some(total) = v.as_f64() {
-                builder.total_error_budget(total)
-            } else if v.as_object().is_some() {
-                check_fields(v, "errorBudget", &["logical", "tStates", "rotations"])?;
-                let part = |name: &str| -> Result<f64, String> {
-                    v.get(name)
-                        .map(|x| {
-                            x.as_f64()
-                                .ok_or_else(|| format!("errorBudget.{name} must be a number"))
-                        })
-                        .transpose()
-                        .map(|o| o.unwrap_or(0.0))
-                };
-                builder.error_budget_parts(part("logical")?, part("tStates")?, part("rotations")?)
-            } else {
-                return Err("`errorBudget` must be a number or an object".into());
-            }
+            let budget = parse_error_budget(v, "errorBudget")?;
+            builder.error_budget_parts(budget.logical, budget.t_states, budget.rotations)
         }
     };
 
@@ -696,8 +707,53 @@ pub fn parse_job_value(doc: &Value) -> Result<JobSpec, String> {
         Some(other) => return Err(format!("unknown estimateType `{other}`")),
     };
 
+    let search_partition = match doc.get("searchBudgetPartition") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or("`searchBudgetPartition` must be a boolean")?,
+    };
+    if search_partition && !frontier {
+        return Err("`searchBudgetPartition` requires `estimateType: \"frontier\"`".into());
+    }
+
     let job = builder.build().map_err(|e| e.to_string())?;
-    Ok(JobSpec { job, frontier })
+    Ok(JobSpec {
+        job,
+        frontier,
+        search_partition,
+    })
+}
+
+/// Parse an error-budget value: a bare number is the total budget (split in
+/// even thirds), an object names the parts explicitly. `ctx` names the
+/// field in errors (`errorBudget`, `sweep.errorBudgets[i]`). The object
+/// form requires `logical`; `tStates` and `rotations` default to 0.
+fn parse_error_budget(v: &Value, ctx: &str) -> Result<ErrorBudget, String> {
+    if let Some(total) = v.as_f64() {
+        return ErrorBudget::from_total(total).map_err(|e| format!("{ctx}: {e}"));
+    }
+    if v.as_object().is_some() {
+        check_fields(v, ctx, &["logical", "tStates", "rotations"])?;
+        let logical = match v.get("logical") {
+            None => return Err(format!("`{ctx}.logical` is missing")),
+            Some(x) => x
+                .as_f64()
+                .ok_or_else(|| format!("{ctx}.logical must be a number"))?,
+        };
+        let optional = |name: &str| -> Result<f64, String> {
+            v.get(name)
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| format!("{ctx}.{name} must be a number"))
+                })
+                .transpose()
+                .map(|o| o.unwrap_or(0.0))
+        };
+        return ErrorBudget::from_parts(logical, optional("tStates")?, optional("rotations")?)
+            .map_err(|e| format!("{ctx}: {e}"));
+    }
+    Err(format!("`{ctx}` must be a number or an object"))
 }
 
 /// Parse a `constraints` object.
@@ -805,11 +861,10 @@ fn parse_sweep(v: &Value) -> Result<SweepSpec, String> {
             .as_array()
             .ok_or("`sweep.errorBudgets` must be an array")?;
         for (i, b) in list.iter().enumerate() {
-            let total = b
-                .as_f64()
-                .ok_or_else(|| format!("errorBudgets[{i}] must be a number"))?;
-            let budget =
-                ErrorBudget::from_total(total).map_err(|e| format!("errorBudgets[{i}]: {e}"))?;
+            // Both forms the top-level `errorBudget` field accepts: a bare
+            // total or a `{"logical": …, "tStates": …, "rotations": …}`
+            // partition object.
+            let budget = parse_error_budget(b, &format!("sweep.errorBudgets[{i}]"))?;
             spec = spec.budget(budget);
         }
     }
@@ -975,14 +1030,13 @@ pub fn run_job(spec: &JobSpec) -> Result<Value, String> {
 /// Run a job through a caller-owned engine, sharing its factory cache.
 fn run_job_via(engine: &Estimator, spec: &JobSpec) -> Result<Value, String> {
     if spec.frontier {
-        let points = engine
-            .frontier(spec.job.as_request())
-            .map_err(|e| e.to_string())?;
+        let points = run_frontier_points_via(engine, spec)?;
         let items: Vec<Value> = points
             .iter()
             .map(|p| {
                 ObjectBuilder::new()
                     .field("maxTFactories", p.max_t_factories)
+                    .field("errorBudget", p.budget.to_json())
                     .field("result", p.result.to_json())
                     .build()
             })
@@ -990,6 +1044,7 @@ fn run_job_via(engine: &Estimator, spec: &JobSpec) -> Result<Value, String> {
         Ok(ObjectBuilder::new()
             .field("status", "success")
             .field("estimateType", "frontier")
+            .field("searchBudgetPartition", spec.search_partition)
             .field("frontier", Value::Array(items))
             .build())
     } else {
@@ -998,6 +1053,32 @@ fn run_job_via(engine: &Estimator, spec: &JobSpec) -> Result<Value, String> {
             .map_err(|e| e.to_string())?;
         Ok(result.to_json())
     }
+}
+
+/// Explore a frontier job's Pareto set: the plain factory-cap frontier, or
+/// the two-axis (budget partition × cap) search when the job asked for
+/// `"searchBudgetPartition": true`.
+pub(crate) fn run_frontier_points_via(
+    engine: &Estimator,
+    spec: &JobSpec,
+) -> Result<Vec<FrontierPoint>, String> {
+    let points = if spec.search_partition {
+        engine.frontier_searched(spec.job.as_request(), &PartitionSearch::default())
+    } else {
+        engine.frontier(spec.job.as_request())
+    };
+    points.map_err(|e| e.to_string())
+}
+
+/// One streamed frontier-point record: the monolithic document's entry
+/// fields plus the point's `index` along the frontier.
+pub(crate) fn frontier_point_json(index: usize, p: &FrontierPoint) -> Value {
+    ObjectBuilder::new()
+        .field("index", index as u64)
+        .field("maxTFactories", p.max_t_factories)
+        .field("errorBudget", p.budget.to_json())
+        .field("result", p.result.to_json())
+        .build()
 }
 
 /// Run a job and return the human-readable report instead of JSON.
@@ -1083,6 +1164,176 @@ mod tests {
         let out = run_job(&spec).unwrap();
         assert_eq!(out.get("estimateType").unwrap().as_str(), Some("frontier"));
         assert!(!out.get("frontier").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn searched_frontier_job_carries_partitions_and_dominates_fixed() {
+        let body = r#"
+            "algorithm": { "logicalCounts": { "numQubits": 50, "tCount": 100000, "measurementCount": 1000 } },
+            "qubitParams": { "name": "qubit_gate_ns_e3" },
+            "qecScheme": { "name": "surface_code" },
+            "errorBudget": 0.001,
+            "estimateType": "frontier""#;
+        let fixed = parse_job(&format!("{{{body}}}")).unwrap();
+        let searched = parse_job(&format!("{{{body}, \"searchBudgetPartition\": true}}")).unwrap();
+        assert!(!fixed.search_partition);
+        assert!(searched.frontier && searched.search_partition);
+
+        let fixed = run_job(&fixed).unwrap();
+        let searched = run_job(&searched).unwrap();
+        assert_eq!(
+            searched.get("searchBudgetPartition").unwrap().as_bool(),
+            Some(true)
+        );
+        let coords = |doc: &Value| -> Vec<(u64, f64)> {
+            doc.get("frontier")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|p| {
+                    // Every point names the partition that produced it.
+                    assert!(p.get_path("errorBudget.logical").unwrap().as_f64().unwrap() > 0.0);
+                    (
+                        p.get_path("result.physicalCounts.physicalQubits")
+                            .unwrap()
+                            .as_u64()
+                            .unwrap(),
+                        p.get_path("result.physicalCounts.runtimeNs")
+                            .unwrap()
+                            .as_f64()
+                            .unwrap(),
+                    )
+                })
+                .collect()
+        };
+        let searched = coords(&searched);
+        for (q, t) in coords(&fixed) {
+            assert!(
+                searched.iter().any(|&(sq, st)| sq <= q && st <= t),
+                "fixed point ({q}, {t}) not weakly dominated"
+            );
+        }
+    }
+
+    #[test]
+    fn search_partition_requires_frontier_type() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "searchBudgetPartition": true
+        }"#;
+        let err = parse_job(job).unwrap_err();
+        assert!(err.contains("estimateType"), "{err}");
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 5, "tCount": 10 } },
+            "estimateType": "frontier",
+            "searchBudgetPartition": 1
+        }"#;
+        let err = parse_job(job).unwrap_err();
+        assert!(err.contains("boolean"), "{err}");
+    }
+
+    #[test]
+    fn streamed_frontier_emits_one_record_per_point() {
+        let job = r#"{
+            "algorithm": { "logicalCounts": { "numQubits": 50, "tCount": 100000, "measurementCount": 1000 } },
+            "errorBudget": 0.001,
+            "estimateType": "frontier",
+            "searchBudgetPartition": true,
+            "stream": true
+        }"#;
+        let submission = parse_submission(job).unwrap();
+        let mut bytes = Vec::new();
+        run_submission_streamed(&submission, &mut bytes).unwrap();
+        let lines = parse_ndjson_lines(&bytes);
+        let records: Vec<&Value> = lines.iter().filter(|v| v.get("index").is_some()).collect();
+        assert!(records.len() >= 2, "expected a real trade-off curve");
+        // Records arrive in frontier order with their coordinates attached.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.get("index").unwrap().as_u64(), Some(i as u64));
+            assert!(r.get("maxTFactories").unwrap().as_u64().is_some());
+            assert!(r.get_path("errorBudget.total").unwrap().as_f64().is_some());
+            assert!(r.get_path("result.physicalCounts").is_some());
+        }
+        // Streamed records are field-identical to the monolithic document's
+        // entries, plus the index.
+        let spec = match &submission.kind {
+            SubmissionKind::Single(spec) => spec,
+            _ => unreachable!(),
+        };
+        let doc = run_job(spec).unwrap();
+        let entries = doc.get("frontier").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), records.len());
+        for (i, (entry, record)) in entries.iter().zip(&records).enumerate() {
+            let expected = match (
+                ObjectBuilder::new().field("index", i as u64).build(),
+                entry.clone(),
+            ) {
+                (Value::Object(mut head), Value::Object(tail)) => {
+                    head.extend(tail);
+                    Value::Object(head)
+                }
+                _ => unreachable!(),
+            };
+            assert_eq!(&expected, *record);
+        }
+    }
+
+    #[test]
+    fn sweep_error_budget_accepts_object_form() {
+        // The same partition, written as the object form the top-level
+        // `errorBudget` field accepts and as an equivalent explicit total.
+        let sweep = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 1000 } } ],
+            "qubitParams": [ { "name": "qubit_gate_ns_e3" } ],
+            "errorBudgets": [ { "logical": 1e-4, "tStates": 2e-4, "rotations": 0 }, 1e-3 ]
+        } }"#;
+        let submission = parse_submission(sweep).unwrap();
+        let out = run_submission(&submission).unwrap();
+        let items = out.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        let total = items[0].get_path("errorBudget").unwrap().as_f64().unwrap();
+        assert!((total - 3e-4).abs() < 1e-15, "got {total}");
+        assert_eq!(
+            items[0]
+                .get_path("result.errorBudget.tStates")
+                .unwrap()
+                .as_f64(),
+            Some(2e-4)
+        );
+    }
+
+    #[test]
+    fn sweep_error_budget_object_errors_name_fields() {
+        let missing = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 1000 } } ],
+            "errorBudgets": [ { "tStates": 2e-4 } ]
+        } }"#;
+        let err = parse_submission(missing).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        assert!(err.contains("errorBudgets[0].logical"), "{err}");
+
+        let not_a_number = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 1000 } } ],
+            "errorBudgets": [ { "logical": "big" } ]
+        } }"#;
+        let err = parse_submission(not_a_number).unwrap_err();
+        assert!(err.contains("must be a number"), "{err}");
+
+        let typo = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 1000 } } ],
+            "errorBudgets": [ { "logical": 1e-4, "tState": 2e-4 } ]
+        } }"#;
+        let err = parse_submission(typo).unwrap_err();
+        assert!(err.contains("tState"), "{err}");
+        assert!(err.contains("tStates"), "{err}");
+
+        let neither = r#"{ "sweep": {
+            "algorithms": [ { "logicalCounts": { "numQubits": 10, "tCount": 1000 } } ],
+            "errorBudgets": [ true ]
+        } }"#;
+        let err = parse_submission(neither).unwrap_err();
+        assert!(err.contains("number or an object"), "{err}");
     }
 
     #[test]

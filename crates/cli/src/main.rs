@@ -46,6 +46,10 @@ fn usage() -> &'static str {
      default, `--compact` emits one line, `--report` renders a text report.\n\
      A submission with top-level \"stream\": true emits NDJSON records as\n\
      items finish, interleaved with {\"progress\": k, \"total\": n} lines.\n\
+     A job with \"estimateType\": \"frontier\" returns the qubit/runtime\n\
+     trade-off curve; add \"searchBudgetPartition\": true to also search\n\
+     the error-budget split (each frontier point then reports the\n\
+     partition that produced it in its \"errorBudget\" field).\n\
      With --search-stats (JSON modes only) a {\"searchStats\": ...} line is\n\
      printed to stderr after the run: pipeline searches run, seeded\n\
      searches, branch-and-bound nodes expanded/pruned, memo hits.\n\

@@ -32,8 +32,11 @@
 //! reads further jobs, in-flight jobs finish and deliver every record, the
 //! snapshot (if configured) is saved once, and the service exits.
 //!
-//! A top-level `"stream"` flag is accepted and ignored: serve output is
-//! always NDJSON.
+//! A top-level `"stream"` flag is accepted and, for most payloads, ignored:
+//! serve output is always NDJSON. The one payload it changes is a frontier
+//! job, which then emits one record per Pareto point (the one-shot CLI's
+//! streamed frontier records, job-enveloped) instead of one monolithic
+//! frontier document.
 //!
 //! ## Output protocol
 //!
@@ -807,7 +810,33 @@ fn execute(
     if shard.is_some() && !matches!(submission.kind, SubmissionKind::Sweep(_)) {
         return Err("`shard` applies only to `sweep` jobs".into());
     }
+    let stream = submission.stream;
     match submission.kind {
+        // A frontier job with `"stream": true` delivers one record per
+        // Pareto point (the pipe mode's streamed records, each wrapped in
+        // the job envelope) instead of one monolithic frontier document.
+        SubmissionKind::Single(spec) if stream && spec.frontier => {
+            match crate::run_frontier_points_via(engine, &spec) {
+                Ok(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if !emit(job_record(id, crate::frontier_point_json(i, p))) {
+                            break;
+                        }
+                    }
+                    Ok(ItemCounts {
+                        items: points.len(),
+                        errors: 0,
+                    })
+                }
+                Err(e) => {
+                    emit(error_record(id, e));
+                    Ok(ItemCounts {
+                        items: 1,
+                        errors: 1,
+                    })
+                }
+            }
+        }
         SubmissionKind::Single(spec) => match crate::run_job_via(engine, &spec) {
             Ok(value) => {
                 emit(job_record(id, value));

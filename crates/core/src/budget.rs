@@ -50,6 +50,15 @@ impl ErrorBudget {
                 )));
             }
         }
+        // The parts stand for probabilities of disjoint failure classes of
+        // one run, so their sum is itself a failure probability and must
+        // stay below 1 — per-part range checks alone admit e.g. 0.5/0.5/0.5.
+        let total = logical + t_states + rotations;
+        if total >= 1.0 {
+            return Err(Error::InvalidInput(format!(
+                "error budget parts must sum to less than 1, got {total}"
+            )));
+        }
         Ok(ErrorBudget {
             logical,
             t_states,
@@ -70,6 +79,110 @@ impl ErrorBudget {
             .field("tStates", self.t_states)
             .field("rotations", self.rotations)
             .build()
+    }
+}
+
+/// A deterministic grid of candidate partitions of one total error budget
+/// (paper Section IV-C.3 treats the split as a free design axis).
+///
+/// The grid is parameterised by a list of ε_log : ε_dis odds ratios,
+/// geometric around 1 by default, so the explored splits are log-spaced
+/// between "almost everything to QEC" and "almost everything to
+/// distillation". The synthesis slice ε_syn is charged only when the
+/// program actually contains arbitrary rotations; for rotation-free
+/// programs the grid reclaims it and redistributes the full total between
+/// ε_log and ε_dis — this is where a searched partition beats the default
+/// even thirds, which waste a third of the budget on synthesis errors that
+/// cannot occur.
+///
+/// The base partition is always the first grid point, so a frontier
+/// searched over the grid can never lose to the fixed partition on either
+/// objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSearch {
+    /// ε_log : ε_dis odds ratios, one grid point per ratio.
+    ratios: Vec<f64>,
+}
+
+impl Default for PartitionSearch {
+    /// Nine log-spaced ratios from 1:16 to 16:1.
+    fn default() -> Self {
+        PartitionSearch {
+            ratios: vec![
+                1.0 / 16.0,
+                1.0 / 8.0,
+                1.0 / 4.0,
+                1.0 / 2.0,
+                1.0,
+                2.0,
+                4.0,
+                8.0,
+                16.0,
+            ],
+        }
+    }
+}
+
+impl PartitionSearch {
+    /// The default log-spaced grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A grid over explicit ε_log : ε_dis odds ratios. Every ratio must be
+    /// finite and positive; the list must not be empty.
+    pub fn with_ratios(ratios: Vec<f64>) -> Result<Self> {
+        if ratios.is_empty() {
+            return Err(Error::InvalidInput(
+                "partition search needs at least one ratio".into(),
+            ));
+        }
+        for &r in &ratios {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(Error::InvalidInput(format!(
+                    "partition ratios must be finite and positive, got {r}"
+                )));
+            }
+        }
+        Ok(PartitionSearch { ratios })
+    }
+
+    /// The configured ε_log : ε_dis odds ratios.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// The candidate partitions for `base`'s total budget, base first.
+    ///
+    /// When the program has rotations, ε_syn keeps the base's synthesis
+    /// slice (or an even third of the total if the base charged none) and
+    /// the ratios split the remainder; otherwise ε_syn is zero and the
+    /// ratios split the full total. Exact duplicates of earlier grid points
+    /// are dropped; ratio points that fail [`ErrorBudget::from_parts`]
+    /// validation are skipped rather than surfaced.
+    pub fn grid(&self, base: &ErrorBudget, has_rotations: bool) -> Vec<ErrorBudget> {
+        let total = base.total();
+        let syn = if has_rotations {
+            if base.rotations > 0.0 {
+                base.rotations
+            } else {
+                total / 3.0
+            }
+        } else {
+            0.0
+        };
+        let free = total - syn;
+        let mut out = vec![*base];
+        for &ratio in &self.ratios {
+            let logical = free * (ratio / (1.0 + ratio));
+            let t_states = free - logical;
+            if let Ok(candidate) = ErrorBudget::from_parts(logical, t_states, syn) {
+                if !out.contains(&candidate) {
+                    out.push(candidate);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -111,6 +224,56 @@ mod tests {
         assert!(ErrorBudget::from_total(f64::NAN).is_err());
         assert!(ErrorBudget::from_parts(0.0, 1e-4, 1e-4).is_err());
         assert!(ErrorBudget::from_parts(1e-4, -1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_parts_summing_to_one_or_more() {
+        // Each part individually in range, but the combined failure
+        // probability is not: 0.5 + 0.5 + 0.5 = 1.5.
+        assert!(ErrorBudget::from_parts(0.5, 0.5, 0.5).is_err());
+        assert!(ErrorBudget::from_parts(0.4, 0.3, 0.3).is_err());
+        assert!(ErrorBudget::from_parts(0.999, 0.001, 0.001).is_err());
+        let err = ErrorBudget::from_parts(0.5, 0.5, 0.0).unwrap_err();
+        assert!(err.to_string().contains("sum"), "got: {err}");
+        // Just below 1 stays accepted.
+        assert!(ErrorBudget::from_parts(0.4, 0.3, 0.2).is_ok());
+    }
+
+    #[test]
+    fn partition_grid_base_first_and_valid() {
+        let base = ErrorBudget::from_total(1e-3).unwrap();
+        let grid = PartitionSearch::default().grid(&base, true);
+        assert_eq!(grid[0], base);
+        assert!(grid.len() >= 2);
+        for b in &grid {
+            assert!((b.total() - 1e-3).abs() < 1e-12);
+            assert!(b.logical > 0.0);
+            // With rotations present every candidate keeps a synthesis slice.
+            assert!(b.rotations > 0.0);
+        }
+    }
+
+    #[test]
+    fn partition_grid_reclaims_synthesis_slice_without_rotations() {
+        let base = ErrorBudget::from_total(1e-3).unwrap();
+        let grid = PartitionSearch::default().grid(&base, false);
+        assert_eq!(grid[0], base, "the base partition itself is kept as-is");
+        for b in &grid[1..] {
+            assert_eq!(b.rotations, 0.0);
+            assert!((b.logical + b.t_states - 1e-3).abs() < 1e-12);
+        }
+        // At least one candidate gives logical errors more than the even
+        // third the base wastes part of.
+        assert!(grid[1..].iter().any(|b| b.logical > base.logical * 2.0));
+    }
+
+    #[test]
+    fn partition_search_rejects_bad_ratios() {
+        assert!(PartitionSearch::with_ratios(vec![]).is_err());
+        assert!(PartitionSearch::with_ratios(vec![0.0]).is_err());
+        assert!(PartitionSearch::with_ratios(vec![-1.0]).is_err());
+        assert!(PartitionSearch::with_ratios(vec![f64::INFINITY]).is_err());
+        assert!(PartitionSearch::with_ratios(vec![1.0, 4.0]).is_ok());
     }
 
     #[test]

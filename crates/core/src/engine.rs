@@ -44,10 +44,11 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use crate::budget::PartitionSearch;
 use crate::cache::{CacheStats, FactoryCache};
 use crate::error::{Error, Result};
 use crate::estimate::PhysicalResourceEstimation;
-use crate::frontier::{estimate_frontier_via, FrontierPoint};
+use crate::frontier::{estimate_frontier_searched_via, estimate_frontier_via, FrontierPoint};
 use crate::request::{EstimateRequest, SweepPoint, SweepSpec};
 use crate::result::EstimationResult;
 
@@ -281,6 +282,49 @@ impl Estimator {
         estimation: &PhysicalResourceEstimation,
     ) -> Result<Vec<FrontierPoint>> {
         estimate_frontier_via(self, estimation, |_| {})
+    }
+
+    /// Explore the two-axis (error-budget partition × factory-copy cap)
+    /// frontier of one request through the shared cache. The candidate
+    /// partitions come from `search`'s grid over the request's own total
+    /// budget; factory designs are shared per required-T-error family, so
+    /// grid points that land in the same family reuse one design. The
+    /// result weakly dominates [`Estimator::frontier`]'s point-for-point.
+    pub fn frontier_searched(
+        &self,
+        request: &EstimateRequest,
+        search: &PartitionSearch,
+    ) -> Result<Vec<FrontierPoint>> {
+        estimate_frontier_searched_via(self, &request.estimation, search, |_| {})
+    }
+
+    /// Like [`Estimator::frontier_searched`], streaming every exploratory
+    /// re-estimate to `on_point` in completion order: first the
+    /// per-partition base estimates, then the full (partition × cap)
+    /// product (the outcome's `point.budget` and
+    /// `point.constraints.max_t_factories` name the coordinates). Observed
+    /// outcomes include the dominated and failed points the Pareto
+    /// reduction later drops.
+    pub fn frontier_searched_with<F>(
+        &self,
+        request: &EstimateRequest,
+        search: &PartitionSearch,
+        on_point: F,
+    ) -> Result<Vec<FrontierPoint>>
+    where
+        F: FnMut(&SweepOutcome),
+    {
+        estimate_frontier_searched_via(self, &request.estimation, search, on_point)
+    }
+
+    /// Like [`Estimator::frontier_searched`], for an already-assembled
+    /// estimation.
+    pub fn frontier_searched_of(
+        &self,
+        estimation: &PhysicalResourceEstimation,
+        search: &PartitionSearch,
+    ) -> Result<Vec<FrontierPoint>> {
+        estimate_frontier_searched_via(self, estimation, search, |_| {})
     }
 
     /// Hit/miss/size counters of the factory cache.

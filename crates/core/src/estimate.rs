@@ -194,7 +194,16 @@ impl PhysicalResourceEstimation {
         let base_depth = lay.algorithmic_depth.max(1);
 
         for _ in 0..64 {
-            let num_cycles = ((base_depth as f64) * depth_factor).ceil() as u64;
+            let scaled_depth = (base_depth as f64) * depth_factor;
+            // The stretch factor grows in-loop from factory durations and
+            // constraint ratios; a pathological input (e.g. an infinite
+            // factory duration) drives it non-finite or past u64 range,
+            // where a bare `as u64` cast would silently saturate to
+            // u64::MAX cycles instead of failing.
+            if !scaled_depth.is_finite() || scaled_depth >= u64::MAX as f64 {
+                return Err(Error::NoConvergence);
+            }
+            let num_cycles = scaled_depth.ceil() as u64;
             let required_logical =
                 self.budget.logical / (lay.logical_qubits as f64 * num_cycles as f64);
             let lq = self.scheme.logical_qubit(&self.qubit, required_logical)?;
@@ -404,6 +413,38 @@ mod tests {
         assert_eq!(r.breakdown.num_t_factories, 0);
         assert_eq!(r.breakdown.physical_qubits_for_t_factories, 0);
         assert!(r.physical_counts.physical_qubits > 0);
+    }
+
+    #[test]
+    fn pathological_factory_duration_fails_cleanly() {
+        // An infinite factory duration drives the depth stretch factor
+        // non-finite; the solver used to saturate the cycle count to
+        // u64::MAX instead of reporting non-convergence.
+        let est = estimation(base_counts());
+        let lay = layout(&est.counts, est.budget.rotations).unwrap();
+        let factory = TFactory {
+            rounds: Vec::new(),
+            physical_qubits: 1_000,
+            duration_ns: f64::INFINITY,
+            output_error_rate: 1e-12,
+            output_t_states: 1,
+            input_error_rate: 1e-3,
+        };
+        assert_eq!(
+            est.solve(&lay, Some(&factory)).unwrap_err(),
+            Error::NoConvergence
+        );
+
+        // A finite but astronomical duration overflows u64 range the same
+        // way once the stretch factor covers one factory run.
+        let factory = TFactory {
+            duration_ns: 1e300,
+            ..factory
+        };
+        assert_eq!(
+            est.solve(&lay, Some(&factory)).unwrap_err(),
+            Error::NoConvergence
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod request;
 mod result;
 mod tfactory;
 
-pub use budget::ErrorBudget;
+pub use budget::{ErrorBudget, PartitionSearch};
 pub use cache::{CacheStats, FactoryCache, SearchCounters, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use engine::{
     collect_results, merge_indexed, merge_sharded, BatchOutcome, BatchStream, Estimator,
@@ -64,7 +64,7 @@ pub use engine::{
 };
 pub use error::{Error, Result};
 pub use estimate::{Constraints, PhysicalResourceEstimation};
-pub use frontier::{estimate_frontier, FrontierPoint};
+pub use frontier::{estimate_frontier, estimate_frontier_searched, FrontierPoint};
 pub use job::{EstimationJob, EstimationJobBuilder};
 pub use layout::{layout, post_layout_logical_qubits, t_states_per_rotation, LogicalLayout};
 pub use physical_qubit::{InstructionSet, PhysicalQubit};

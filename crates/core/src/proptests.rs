@@ -2,7 +2,7 @@
 //! engine-level metamorphic laws (budget monotonicity, frontier Pareto
 //! properties, shard/merge equivalence, snapshot round trips).
 
-use crate::budget::ErrorBudget;
+use crate::budget::{ErrorBudget, PartitionSearch};
 use crate::cache::FactoryCache;
 use crate::engine::{merge_sharded, Estimator};
 use crate::estimate::{Constraints, PhysicalResourceEstimation};
@@ -308,6 +308,66 @@ proptest! {
             snap2.to_string_compact(),
             "save→load→save must be byte-stable"
         );
+    }
+}
+
+proptest! {
+    // Each case runs a fixed frontier plus a searched frontier (the whole
+    // partition-grid × factory-cap sweep); a handful of random scenarios is
+    // the coverage target.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Searching the error-budget partition can only help: the searched
+    /// frontier weakly dominates the fixed-partition frontier
+    /// point-for-point (for every fixed point some searched point is at
+    /// least as good on *both* objectives), every searched point's
+    /// partition conserves the request's total budget, and whenever the
+    /// fixed frontier exists the searched one does too.
+    #[test]
+    fn searched_frontier_weakly_dominates_fixed_everywhere(
+        counts in arb_counts(),
+        profile in arb_profile(),
+        budget_exp in 2u32..6,
+    ) {
+        let estimation = make(counts, profile, 10f64.powi(-(budget_exp as i32)));
+        let engine = Estimator::new();
+        let Ok(fixed) = engine.frontier_of(&estimation) else {
+            return Ok(()); // infeasible scenarios have no frontier
+        };
+        // The base partition is the searched grid's first point, so a
+        // scenario with a fixed frontier always has a searched one.
+        let searched = engine
+            .frontier_searched_of(&estimation, &PartitionSearch::default());
+        prop_assert!(searched.is_ok(), "searched frontier lost feasibility");
+        let searched = searched.unwrap();
+        for fp in &fixed {
+            let (q, t) = (
+                fp.result.physical_counts.physical_qubits,
+                fp.result.physical_counts.runtime_ns,
+            );
+            // Exact comparisons: every fixed (budget, cap) point is a
+            // member of the searched sweep, and estimation is
+            // deterministic, so the dominating point is found bit-exactly.
+            prop_assert!(
+                searched.iter().any(|sp| {
+                    sp.result.physical_counts.physical_qubits <= q
+                        && sp.result.physical_counts.runtime_ns <= t
+                }),
+                "fixed point ({q} qubits, {t} ns) not weakly dominated"
+            );
+        }
+        let total = estimation.budget.total();
+        for sp in &searched {
+            prop_assert!(
+                (sp.budget.total() - total).abs() <= total * 1e-9,
+                "searched point's partition must conserve the total budget"
+            );
+            prop_assert_eq!(
+                &sp.budget,
+                &sp.result.error_budget,
+                "point provenance must match the result's own budget"
+            );
+        }
     }
 }
 

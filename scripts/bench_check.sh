@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-regression gate over every committed BENCH_*.json artifact
-# (engine, stream, serve, persist, service, scale): each carries a "gate"
+# (engine, stream, serve, persist, service, scale, frontier): each carries a "gate"
 # object of floors/ceilings over dotted value paths, enforced against the
 # committed values and against any freshly regenerated counterpart in
 # target/experiments/ (CI runs the quick benches first, so a regressed

@@ -29,7 +29,12 @@ fn regen_requested() -> bool {
 
 /// Compare (or, under `QRE_GOLDEN_REGEN`, rewrite) one golden fixture.
 fn check_golden(name: &str, result: &EstimationResult) {
-    let rendered = result.to_json().to_string_pretty() + "\n";
+    check_golden_text(name, result.to_json().to_string_pretty() + "\n");
+}
+
+/// Byte-exact comparison for fixtures that aren't a single result document
+/// (e.g. a whole frontier).
+fn check_golden_text(name: &str, rendered: String) {
     let path = fixture_path(name);
     if regen_requested() {
         std::fs::write(&path, &rendered)
@@ -138,6 +143,43 @@ fn karatsuba_256_maj_ns_e4_floquet() {
     check_golden("karatsuba_256_maj_ns_e4_floquet.json", &r);
 }
 
+/// The searched-partition frontier for the gate-based 512-bit scenario: the
+/// two-axis (budget partition × factory cap) search's full Pareto set, one
+/// object per point carrying the factory cap and the budget partition that
+/// produced it. Pins down the whole search — grid construction, cap-ladder
+/// union, Pareto reduction, and provenance — against numeric drift.
+#[test]
+fn frontier_searched_windowed_512_gate_ns_e3() {
+    use qre::estimator::{EstimateRequest, Estimator, PartitionSearch};
+    use qre::json::{ObjectBuilder, Value};
+
+    let request = EstimateRequest::builder()
+        .counts(multiplication_counts(MulAlgorithm::Windowed, 512))
+        .profile(HardwareProfile::qubit_gate_ns_e3())
+        .qec(QecSchemeKind::SurfaceCode)
+        .total_error_budget(1e-3)
+        .build()
+        .unwrap();
+    let points = Estimator::new()
+        .frontier_searched(&request, &PartitionSearch::default())
+        .unwrap();
+    let rendered = Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                ObjectBuilder::new()
+                    .field("maxTFactories", p.max_t_factories)
+                    .field("errorBudget", p.budget.to_json())
+                    .field("result", p.result.to_json())
+                    .build()
+            })
+            .collect(),
+    )
+    .to_string_pretty()
+        + "\n";
+    check_golden_text("frontier_searched_windowed_512_gate_ns_e3.json", rendered);
+}
+
 /// The fixtures themselves must stay in sync with this test file: every
 /// fixture present is produced by exactly one test above.
 #[test]
@@ -151,6 +193,7 @@ fn fixture_directory_has_no_strays() {
         "windowed_32_maj_ns_e4_floquet.json",
         "windowed_512_gate_ns_e3_surface.json",
         "karatsuba_256_maj_ns_e4_floquet.json",
+        "frontier_searched_windowed_512_gate_ns_e3.json",
     ];
     let mut found: Vec<String> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("failed to list {}: {e}", dir.display()))
